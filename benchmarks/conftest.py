@@ -1,0 +1,27 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one table or figure of the paper.  The experiment
+context (platform + threshold calibration) is built once per session so the
+individual benchmarks measure the experiment itself, not the setup.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import build_context
+
+
+@pytest.fixture(scope="session")
+def context():
+    """Shared experiment context (Skylake, 4.5 W TDP, Table 2 configuration)."""
+    return build_context(workload_duration=0.5)
+
+
+def report(title: str, lines) -> None:
+    """Print a small report block that survives pytest-benchmark's output."""
+    print(f"\n=== {title} ===")
+    if isinstance(lines, str):
+        lines = [lines]
+    for line in lines:
+        print(line)

@@ -1,0 +1,107 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+These are not paper figures; they quantify how much each SysScale ingredient
+contributes on this model: MRC re-optimization during DVFS, the transition-latency
+assumption, the evaluation-interval length, and the threshold margin.
+"""
+
+import pytest
+from conftest import report
+
+from repro import config
+from repro.baselines.fixed import FixedBaselinePolicy
+from repro.core.operating_points import OperatingPoint, OperatingPointTable
+from repro.core.sysscale import SysScaleController
+from repro.experiments.runner import mean
+from repro.sim.engine import SimulationConfig, SimulationEngine
+from repro.workloads.spec2006 import spec_cpu2006_suite
+
+SUBSET = ("400.perlbench", "416.gamess", "444.namd", "456.hmmer", "473.astar", "470.lbm")
+
+
+def _improvements(context, engine, controller_factory):
+    values = []
+    for trace in spec_cpu2006_suite(duration=0.5, subset=SUBSET):
+        baseline = engine.run(trace, FixedBaselinePolicy())
+        sysscale = engine.run(trace, controller_factory())
+        values.append(sysscale.performance_improvement_over(baseline))
+    return values
+
+
+def test_ablation_mrc_reoptimization(benchmark, context):
+    """SysScale with vs. without per-frequency MRC re-optimization (Fig. 4 tie-in)."""
+    engine = context.engine
+
+    def run_both():
+        with_mrc = mean(_improvements(context, engine, context.sysscale))
+
+        stale_points = OperatingPointTable(
+            points=[
+                OperatingPoint("high", 1.6e9, config.IO_INTERCONNECT_HIGH_FREQUENCY, 1.0, 1.0,
+                               mrc_optimized=True),
+                OperatingPoint("low_stale_mrc", 1.06e9, config.IO_INTERCONNECT_LOW_FREQUENCY,
+                               config.V_SA_LOW_SCALE, config.V_IO_LOW_SCALE, mrc_optimized=False),
+            ]
+        )
+
+        def stale_controller():
+            return SysScaleController(
+                platform=context.platform,
+                operating_points=stale_points,
+                thresholds=context.thresholds,
+            )
+
+        without_mrc = mean(_improvements(context, engine, stale_controller))
+        return with_mrc, without_mrc
+
+    with_mrc, without_mrc = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    report(
+        "Ablation: MRC re-optimization",
+        [
+            f"SysScale with optimized MRC   : {with_mrc:.1%}",
+            f"SysScale with stale MRC       : {without_mrc:.1%}",
+        ],
+    )
+    assert with_mrc >= without_mrc - 0.005
+
+
+def test_ablation_transition_latency(benchmark, context):
+    """Nominal 10 us transitions vs. 100x slower transitions (prior-work style)."""
+    def run_both():
+        fast_engine = context.engine
+        fast = mean(_improvements(context, fast_engine, context.sysscale))
+
+        def slow_controller():
+            controller = context.sysscale()
+            controller.flow.firmware_latency = 100 * config.TRANSITION_TOTAL_LATENCY_BUDGET
+            return controller
+
+        slow = mean(_improvements(context, fast_engine, slow_controller))
+        return fast, slow
+
+    fast, slow = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    report(
+        "Ablation: transition latency",
+        [f"10 us transitions : {fast:.1%}", f"slow transitions  : {slow:.1%}"],
+    )
+    # With 30 ms evaluation intervals even slow transitions cost little, which is
+    # exactly why the paper can afford a firmware-driven flow.
+    assert abs(fast - slow) < 0.02
+
+
+@pytest.mark.parametrize("interval_ms", [10.0, 30.0, 100.0])
+def test_ablation_evaluation_interval(benchmark, context, interval_ms):
+    """Sensitivity of SysScale's benefit to the evaluation-interval length."""
+    engine = SimulationEngine(
+        context.platform, SimulationConfig(evaluation_interval=interval_ms * 1e-3)
+    )
+
+    def run():
+        return mean(_improvements(context, engine, context.sysscale))
+
+    improvement = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        f"Ablation: evaluation interval {interval_ms:.0f} ms",
+        [f"average SPEC-subset improvement: {improvement:.1%}"],
+    )
+    assert improvement > 0.02

@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Fig. 4 (impact of unoptimized MRC values)."""
+
+from conftest import report
+
+from repro.experiments import run_fig4_mrc_impact
+
+
+def test_fig4_mrc_impact(benchmark, context):
+    result = benchmark(run_fig4_mrc_impact, context)
+    report(
+        "Fig. 4: unoptimized MRC impact (peak-bandwidth microbenchmark)",
+        [
+            f"performance degradation : {result['performance_degradation']:.1%} (paper ~10%)",
+            f"memory power increase   : {result['memory_power_increase']:.1%} (paper ~22%)",
+            f"SoC power increase      : {result['soc_power_increase']:.1%}",
+        ],
+    )
+    # Paper shape: ~10 % performance loss and a substantial power increase.
+    assert 0.05 < result["performance_degradation"] < 0.20
+    assert result["memory_power_increase"] > 0.05
+    assert result["unoptimized_bandwidth_gbps"] < result["optimized_bandwidth_gbps"]

@@ -1,0 +1,15 @@
+"""Benchmark: exercise the Fig. 5 transition flow and its < 10 us latency budget."""
+
+from conftest import report
+
+from repro.experiments import format_table, run_fig5_transition_flow
+
+
+def test_fig5_transition_flow(benchmark, context):
+    result = benchmark(run_fig5_transition_flow, context)
+    report("Fig. 5 / Sec. 5: transition flow latency", format_table(result["transitions"]))
+    assert result["within_budget"]
+    assert result["worst_latency_us"] <= result["budget_us"]
+    # Both directions (high->low and low->high) were exercised.
+    assert len(result["transitions"]) == 2
+    assert any(row["increasing_frequency"] for row in result["transitions"])

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Battery-life scenario: how display configuration changes SysScale's savings.
+
+The demand predictor treats display bandwidth as *static* demand read from the
+peripheral configuration registers (Sec. 4.2): with one HD panel SysScale can hold
+the low operating point for most of a video-playback session, while a 4K panel's
+scanout traffic exceeds the static-demand threshold and forces the high operating
+point, shrinking the savings.  This example sweeps the display configurations of
+Fig. 3(b) and reports the per-configuration average power and savings.
+
+Run with::
+
+    python examples/battery_life_display_sweep.py
+"""
+
+from __future__ import annotations
+
+from repro.baselines import FixedBaselinePolicy
+from repro.experiments import build_context
+from repro.workloads import battery_life_workload
+from repro.workloads.io_devices import STANDARD_CONFIGURATIONS
+
+CONFIGURATIONS = ("no_display", "single_hd", "single_fhd", "triple_hd", "single_4k")
+
+
+def main() -> None:
+    print("Building the experiment context ...")
+    context = build_context()
+    engine = context.engine
+    trace = battery_life_workload("video_playback")
+
+    print(f"\nWorkload: {trace.name} ({trace.description})")
+    print(f"{'configuration':15s} {'static BW':>10s} {'baseline':>9s} {'SysScale':>9s} "
+          f"{'saving':>8s} {'low residency':>14s}")
+    for name in CONFIGURATIONS:
+        peripherals = STANDARD_CONFIGURATIONS[name]
+        baseline = engine.run(trace, FixedBaselinePolicy(), peripherals=peripherals)
+        sysscale = engine.run(trace, context.sysscale(), peripherals=peripherals)
+        saving = sysscale.power_reduction_vs(baseline)
+        print(
+            f"{name:15s} {peripherals.static_bandwidth_demand / 1e9:8.1f}GB {baseline.average_power:8.2f}W "
+            f"{sysscale.average_power:8.2f}W {saving:8.1%} {sysscale.low_point_residency:13.0%}"
+        )
+
+    print(
+        "\nWith a single HD panel the static demand stays below the threshold and the\n"
+        "low operating point is held for most of the run (the Fig. 9 scenario); a 4K\n"
+        "panel's scanout bandwidth forces the high operating point and the savings\n"
+        "disappear -- demand misprediction would otherwise break the display's QoS."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's headline evaluation (Figs. 7, 8, 9) in one run.
+
+Runs the full SPEC CPU2006 suite, the three 3DMark variants, and the four
+battery-life workloads under the baseline, SysScale, and the projected
+MemScale-Redist / CoScale-Redist comparison points, then prints the per-workload
+rows and the averages next to the numbers the paper reports.
+
+Run with::
+
+    python examples/evaluation_sweep.py            # full SPEC suite (slower)
+    python examples/evaluation_sweep.py --quick    # representative SPEC subset
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.experiments import (
+    build_context,
+    format_table,
+    run_fig7_spec,
+    run_fig8_graphics,
+    run_fig9_battery_life,
+)
+
+QUICK_SUBSET = (
+    "400.perlbench", "416.gamess", "429.mcf", "433.milc", "436.cactusADM",
+    "444.namd", "445.gobmk", "456.hmmer", "462.libquantum", "470.lbm",
+    "473.astar", "482.sphinx3",
+)
+
+PAPER_NUMBERS = {
+    "fig7": {"memscale_redist": 0.017, "coscale_redist": 0.038, "sysscale": 0.092},
+    "fig8": {"3DMark06": 0.089, "3DMark11": 0.067, "3DMark Vantage": 0.081},
+    "fig9": {
+        "web_browsing": 0.064, "light_gaming": 0.095,
+        "video_conferencing": 0.076, "video_playback": 0.107,
+    },
+}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="use a 12-benchmark SPEC subset")
+    args = parser.parse_args()
+
+    print("Building the experiment context (platform + threshold calibration) ...")
+    context = build_context(workload_duration=0.5 if args.quick else 1.0)
+
+    # ---- Fig. 7: SPEC CPU2006 ------------------------------------------------
+    print("\nRunning the SPEC CPU2006 evaluation (Fig. 7) ...")
+    fig7 = run_fig7_spec(context, subset=QUICK_SUBSET if args.quick else None)
+    print(format_table(fig7["rows"], ["workload", "memscale_redist", "coscale_redist", "sysscale"]))
+    print("averages (measured vs. paper):")
+    for technique, paper_value in PAPER_NUMBERS["fig7"].items():
+        print(f"  {technique:16s} {fig7['average'][technique]:6.1%}   (paper {paper_value:.1%})")
+
+    # ---- Fig. 8: 3DMark --------------------------------------------------------
+    print("\nRunning the 3DMark evaluation (Fig. 8) ...")
+    fig8 = run_fig8_graphics(context)
+    print(format_table(fig8["rows"], ["workload", "memscale_redist", "coscale_redist", "sysscale"]))
+    for row in fig8["rows"]:
+        paper_value = PAPER_NUMBERS["fig8"][row["workload"]]
+        print(f"  {row['workload']:16s} {row['sysscale']:6.1%}   (paper {paper_value:.1%})")
+
+    # ---- Fig. 9: battery life --------------------------------------------------
+    print("\nRunning the battery-life evaluation (Fig. 9) ...")
+    fig9 = run_fig9_battery_life(context)
+    print(format_table(
+        fig9["rows"],
+        ["workload", "baseline_power_w", "memscale_redist", "coscale_redist", "sysscale"],
+    ))
+    for row in fig9["rows"]:
+        paper_value = PAPER_NUMBERS["fig9"][row["workload"]]
+        print(f"  {row['workload']:20s} {row['sysscale']:6.1%}   (paper {paper_value:.1%})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setup shim so ``pip install -e .`` works without the ``wheel`` package.
+
+All project metadata lives in ``pyproject.toml``; this file only enables the
+legacy editable-install path in offline environments.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,45 @@
+"""SysScale reproduction: multi-domain DVFS for energy-efficient mobile SoCs.
+
+This package is a trace-driven reproduction of *SysScale: Exploiting Multi-domain
+Dynamic Voltage and Frequency Scaling for Energy Efficient Mobile Processors*
+(Haj-Yahya et al., ISCA 2020).  It models a Skylake-class mobile SoC (compute, IO,
+and memory domains, shared voltage rails, LPDDR3 memory subsystem, TDP-constrained
+power-budget management), implements SysScale's three components (demand
+prediction, holistic power-management algorithm, multi-domain DVFS flow) plus the
+MemScale/CoScale comparison points, and regenerates every table and figure of the
+paper's evaluation from the model.
+
+Quick start::
+
+    from repro import build_platform, SimulationEngine, SysScaleController
+    from repro.baselines import FixedBaselinePolicy
+    from repro.workloads import spec_workload
+
+    platform = build_platform(tdp=4.5)
+    engine = SimulationEngine(platform)
+    trace = spec_workload("416.gamess")
+    baseline = engine.run(trace, FixedBaselinePolicy())
+    sysscale = engine.run(trace, SysScaleController(platform=platform))
+    print(sysscale.performance_improvement_over(baseline))
+"""
+
+from repro.sim.platform import Platform, build_platform
+from repro.sim.engine import SimulationConfig, SimulationEngine
+from repro.sim.result import SimulationResult
+from repro.core.sysscale import SysScaleController, default_thresholds
+from repro.core.operating_points import OperatingPoint, build_default_operating_points
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Platform",
+    "build_platform",
+    "SimulationConfig",
+    "SimulationEngine",
+    "SimulationResult",
+    "SysScaleController",
+    "default_thresholds",
+    "OperatingPoint",
+    "build_default_operating_points",
+    "__version__",
+]

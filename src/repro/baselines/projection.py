@@ -1,0 +1,207 @@
+"""Projection methodology for the MemScale-Redist / CoScale-Redist comparison.
+
+The paper cannot measure MemScale [16] or CoScale [14] on real silicon, so it
+projects their results in three steps (Sec. 6):
+
+1. estimate each technique's average power savings from per-component power
+   measurements of the Skylake system;
+2. build a performance/power model that maps an increase in the compute-domain
+   power budget to an increase in CPU-core or graphics-engine frequency;
+3. use the running workload's performance scalability with that frequency to
+   project the performance improvement.
+
+This module implements the three steps against the simulated platform.  Each
+prior-work policy supplies step 1 (its estimated power savings for a workload);
+steps 2 and 3 are shared here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro import config
+from repro.perf.scalability import amdahl_speedup, frequency_scalability
+from repro.power.models import ActivityVector
+from repro.sim.platform import Platform
+from repro.workloads.trace import WorkloadClass, WorkloadTrace
+
+
+@dataclass(frozen=True)
+class ProjectionResult:
+    """The projected effect of one prior-work technique on one workload."""
+
+    workload: str
+    technique: str
+    power_savings: float
+    frequency_ratio: float
+    scalability: float
+    performance_improvement: float
+    power_reduction: float
+
+    def as_dict(self) -> dict:
+        """Flat summary for result tables."""
+        return {
+            "workload": self.workload,
+            "technique": self.technique,
+            "power_savings_w": self.power_savings,
+            "frequency_ratio": self.frequency_ratio,
+            "scalability": self.scalability,
+            "performance_improvement": self.performance_improvement,
+            "power_reduction": self.power_reduction,
+        }
+
+
+@dataclass
+class RedistProjection:
+    """Shared steps 2-3 of the Sec. 6 projection methodology."""
+
+    platform: Platform
+
+    # ------------------------------------------------------------------
+    # Step 2: power budget -> frequency
+    # ------------------------------------------------------------------
+    def _representative_activity(self, trace: WorkloadTrace) -> ActivityVector:
+        phase = max(trace.phases, key=lambda p: p.duration)
+        return ActivityVector(
+            cpu_activity=phase.cpu_activity,
+            gfx_activity=phase.gfx_activity,
+            io_activity=phase.io_activity,
+            memory_bandwidth=phase.memory_bandwidth_demand,
+            active_cores=phase.active_cores,
+        )
+
+    def frequency_ratio_for_extra_budget(
+        self, trace: WorkloadTrace, extra_budget: float
+    ) -> float:
+        """Frequency increase the compute domain gains from ``extra_budget`` watts.
+
+        The PBM plans the compute frequencies once with the baseline budget and
+        once with the augmented budget; the ratio of granted frequencies (CPU for
+        CPU workloads, graphics for graphics workloads) is the step-2 output.
+        The extra budget is converted to frequency *continuously* along the V/F
+        curve rather than through the discrete P-state table, matching how the
+        paper's projection model is described ("a 100 mW increase in compute power
+        budget can lead to an increase in the core frequency by 100 MHz").
+        """
+        if extra_budget < 0:
+            raise ValueError("extra budget must be non-negative")
+        activity = self._representative_activity(trace)
+        baseline_budget = self.platform.pbm.budgets(None).compute
+        graphics_centric = trace.workload_class is WorkloadClass.GRAPHICS
+        fixed = trace.workload_class is WorkloadClass.BATTERY_LIFE
+        base_plan = self.platform.pbm.plan(
+            baseline_budget, activity, graphics_centric=graphics_centric, fixed_performance=fixed
+        )
+        if graphics_centric:
+            curve = self.platform.soc.gfx_curve
+            base_frequency = base_plan.gfx_state.frequency
+            base_power = self.platform.compute_power.gfx_power(
+                base_frequency, activity=activity.gfx_activity
+            )
+
+            def power_at(frequency: float) -> float:
+                return self.platform.compute_power.gfx_power(
+                    frequency,
+                    activity=activity.gfx_activity,
+                    voltage=curve.voltage_at(frequency),
+                )
+
+        else:
+            curve = self.platform.soc.cpu_curve
+            base_frequency = base_plan.cpu_state.frequency
+            base_power = self.platform.compute_power.cpu_power(
+                base_frequency,
+                activity=activity.cpu_activity,
+                active_cores=activity.active_cores,
+            )
+
+            def power_at(frequency: float) -> float:
+                return self.platform.compute_power.cpu_power(
+                    frequency,
+                    activity=activity.cpu_activity,
+                    active_cores=activity.active_cores,
+                    voltage=curve.voltage_at(frequency),
+                )
+
+        target_power = base_power + extra_budget
+        lo, hi = base_frequency, curve.fmax
+        if power_at(hi) <= target_power:
+            return hi / base_frequency
+        for _ in range(40):
+            mid = 0.5 * (lo + hi)
+            if power_at(mid) <= target_power:
+                lo = mid
+            else:
+                hi = mid
+        return lo / base_frequency
+
+    # ------------------------------------------------------------------
+    # Step 3: frequency -> performance
+    # ------------------------------------------------------------------
+    def project(
+        self,
+        trace: WorkloadTrace,
+        technique: str,
+        power_savings: float,
+        low_point_slowdown: float = 0.0,
+        baseline_average_power: Optional[float] = None,
+    ) -> ProjectionResult:
+        """Project performance improvement and power reduction for one workload.
+
+        ``low_point_slowdown`` captures the performance *cost* of the technique's
+        own memory scaling (e.g. running memory-bound phases at a lower frequency
+        with unoptimized MRC values); it is subtracted from the frequency-driven
+        gain, mirroring how the paper notes that unoptimized configuration
+        registers can negate DVFS benefits.
+        """
+        if power_savings < 0:
+            raise ValueError("power savings must be non-negative")
+        if low_point_slowdown < 0:
+            raise ValueError("slowdown must be non-negative")
+
+        if trace.workload_class is WorkloadClass.BATTERY_LIFE:
+            # Battery-life workloads have fixed performance: savings stay savings.
+            baseline_power = (
+                baseline_average_power
+                if baseline_average_power is not None
+                else self._baseline_average_power(trace)
+            )
+            reduction = power_savings / baseline_power if baseline_power > 0 else 0.0
+            return ProjectionResult(
+                workload=trace.name,
+                technique=technique,
+                power_savings=power_savings,
+                frequency_ratio=1.0,
+                scalability=0.0,
+                performance_improvement=0.0,
+                power_reduction=reduction,
+            )
+
+        target = "gfx" if trace.workload_class is WorkloadClass.GRAPHICS else "cpu"
+        scalability = frequency_scalability(trace, target)
+        ratio = self.frequency_ratio_for_extra_budget(trace, power_savings)
+        improvement = amdahl_speedup(scalability, ratio) - 1.0
+        improvement = max(0.0, improvement - low_point_slowdown)
+        return ProjectionResult(
+            workload=trace.name,
+            technique=technique,
+            power_savings=power_savings,
+            frequency_ratio=ratio,
+            scalability=scalability,
+            performance_improvement=improvement,
+            power_reduction=0.0,
+        )
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _baseline_average_power(self, trace: WorkloadTrace) -> float:
+        """Rough baseline average power of a battery-life workload (for step 3)."""
+        phase = max(trace.phases, key=lambda p: p.duration)
+        activity = self._representative_activity(trace)
+        state = self.platform.default_state()
+        active_power = self.platform.soc_power.total(state, activity)
+        residency = phase.residency
+        idle_power = residency.idle_package_power() + config.DRAM_SELF_REFRESH_POWER
+        return residency.active_fraction * active_power + idle_power

@@ -1,0 +1,212 @@
+"""Global simulation constants, units, and calibration parameters.
+
+All physical constants used across the SysScale reproduction live here so that the
+rest of the code base never hard-codes magic numbers.  The values fall into three
+groups:
+
+* **Unit helpers** -- small conversion constants (``MHZ``, ``GHZ``, ``MS``, ...) so
+  that module code can spell quantities the way the paper does (e.g. ``1.6 * GHZ``).
+* **Paper-anchored parameters** -- quantities the paper states explicitly
+  (Table 1, Table 2, Sec. 5): DRAM frequency bins, the Skylake TDP range, the DVFS
+  transition latency budget, the MRC SRAM footprint, the evaluation interval.
+* **Calibration parameters** -- quantities the paper does not state numerically but
+  which the power/performance model needs (per-component capacitance, leakage,
+  rail-power split).  These are chosen to be physically plausible for a 4.5 W
+  Skylake-Y part and are documented next to their definition.  Experiments assert
+  *shapes* (who wins and by roughly how much), never these absolute values.
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# Unit helpers
+# ---------------------------------------------------------------------------
+
+#: One hertz expressed in the canonical frequency unit of the simulator (Hz).
+HZ = 1.0
+KHZ = 1e3
+MHZ = 1e6
+GHZ = 1e9
+
+#: One second expressed in the canonical time unit of the simulator (seconds).
+S = 1.0
+MS = 1e-3
+US = 1e-6
+NS = 1e-9
+
+#: One watt / one joule in canonical units.
+W = 1.0
+MW = 1e-3
+J = 1.0
+MJ = 1e-3
+
+#: One byte per second in canonical bandwidth units.
+BPS = 1.0
+KBPS = 1e3
+MBPS = 1e6
+GBPS = 1e9
+
+#: One volt in canonical units.
+V = 1.0
+MV = 1e-3
+
+
+def ghz(value: float) -> float:
+    """Convert a value expressed in GHz to Hz."""
+    return value * GHZ
+
+
+def mhz(value: float) -> float:
+    """Convert a value expressed in MHz to Hz."""
+    return value * MHZ
+
+
+def gbps(value: float) -> float:
+    """Convert a value expressed in GB/s to B/s."""
+    return value * GBPS
+
+
+def ms(value: float) -> float:
+    """Convert a value expressed in milliseconds to seconds."""
+    return value * MS
+
+
+def us(value: float) -> float:
+    """Convert a value expressed in microseconds to seconds."""
+    return value * US
+
+
+# ---------------------------------------------------------------------------
+# Paper-anchored parameters (Sections 2-6, Tables 1-2)
+# ---------------------------------------------------------------------------
+
+#: DRAM frequency bins supported by LPDDR3 (Sec. 3, footnote 4), in Hz.
+LPDDR3_FREQUENCY_BINS = (ghz(1.6), ghz(1.06), ghz(0.8))
+
+#: DRAM frequency bins used for the DDR4 sensitivity study (Sec. 7.4), in Hz.
+DDR4_FREQUENCY_BINS = (ghz(2.13), ghz(1.86), ghz(1.33))
+
+#: Peak theoretical bandwidth of dual-channel LPDDR3 at 1.6 GHz (Sec. 3, Fig. 3b).
+LPDDR3_PEAK_BANDWIDTH = gbps(25.6)
+
+#: The memory controller runs at half the DDR frequency (Sec. 3).
+MC_TO_DDR_FREQUENCY_RATIO = 0.5
+
+#: Baseline and scaled IO interconnect frequencies (Table 1), in Hz.
+IO_INTERCONNECT_HIGH_FREQUENCY = ghz(0.8)
+IO_INTERCONNECT_LOW_FREQUENCY = ghz(0.4)
+
+#: Voltage scale factors applied at the low operating point (Table 1).
+V_SA_LOW_SCALE = 0.8
+V_IO_LOW_SCALE = 0.85
+
+#: Skylake M-6Y75 parameters (Table 2).
+SKYLAKE_CPU_BASE_FREQUENCY = ghz(1.2)
+SKYLAKE_GFX_BASE_FREQUENCY = mhz(300)
+SKYLAKE_LLC_BYTES = 4 * 1024 * 1024
+SKYLAKE_DEFAULT_TDP = 4.5 * W
+SKYLAKE_TDP_RANGE = (3.5 * W, 7.0 * W)
+SKYLAKE_CORE_COUNT = 2
+SKYLAKE_THREADS_PER_CORE = 2
+
+#: SysScale transition-flow latency budget (Sec. 5), in seconds.
+TRANSITION_VOLTAGE_LATENCY = us(2.0)
+TRANSITION_DRAIN_LATENCY = us(1.0)
+TRANSITION_SELF_REFRESH_EXIT_LATENCY = us(5.0)
+TRANSITION_MRC_LOAD_LATENCY = us(1.0)
+TRANSITION_FIRMWARE_LATENCY = us(1.0)
+TRANSITION_TOTAL_LATENCY_BUDGET = us(10.0)
+
+#: Voltage regulator slew rate used by the flow latency model (Sec. 5).
+VR_SLEW_RATE = 50 * MV / US  # volts per second
+
+#: Approximate voltage swing of a SysScale transition (Sec. 5).
+TRANSITION_VOLTAGE_SWING = 100 * MV
+
+#: SRAM dedicated to storing per-frequency MRC values (Sec. 5), in bytes.
+MRC_SRAM_BYTES = 512
+
+#: PMU firmware added for SysScale (Sec. 5), in bytes.
+SYSSCALE_FIRMWARE_BYTES = 614
+
+#: Die-area fractions quoted for the SRAM and firmware additions (Sec. 5).
+MRC_SRAM_DIE_AREA_FRACTION = 0.00006
+SYSSCALE_FIRMWARE_DIE_AREA_FRACTION = 0.00008
+
+#: Holistic power-management algorithm cadence (Sec. 4.3).
+EVALUATION_INTERVAL = ms(30.0)
+COUNTER_SAMPLING_INTERVAL = ms(1.0)
+
+#: Performance-degradation bound used when calibrating thresholds (Sec. 4.2).
+PREDICTION_DEGRADATION_BOUND = 0.01
+
+#: Penalties of running the DRAM interface with configuration registers trained
+#: for a different frequency (Sec. 2.5, Fig. 4): achievable bandwidth / effective
+#: timing derate, and the extra interface power burned by mistrained drive
+#: strength, termination, and equalization settings.
+UNOPTIMIZED_MRC_POWER_PENALTY = 0.35
+UNOPTIMIZED_MRC_PERFORMANCE_PENALTY = 0.10
+
+#: Fig. 2(a): observed range of MD-DVFS average-power reduction on Broadwell.
+MOTIVATION_POWER_REDUCTION_RANGE = (0.10, 0.11)
+
+
+# ---------------------------------------------------------------------------
+# Calibration parameters (documented model choices, not paper numbers)
+# ---------------------------------------------------------------------------
+
+#: Effective switching capacitance of one CPU core (farads).  Chosen so that a
+#: core at 1.2 GHz / 0.67 V dissipates roughly 0.65 W of dynamic power, which is
+#: consistent with a 4.5 W Skylake-Y part sustaining ~1.5 GHz on two cores.
+CPU_CORE_CEFF = 1.25e-9
+
+#: Effective switching capacitance of the graphics engine slice (farads).
+GFX_CEFF = 3.0e-9
+
+#: Effective switching capacitance of the LLC + ring (farads).
+UNCORE_CEFF = 0.55e-9
+
+#: Leakage power coefficients: P_leak = k * V^2 (watts at 1 V).
+CPU_CORE_LEAKAGE_COEFF = 0.28
+GFX_LEAKAGE_COEFF = 0.35
+UNCORE_LEAKAGE_COEFF = 0.18
+
+#: Power of the V_SA rail constituents at the high operating point (watts).
+#: The split between memory controller, IO interconnect, and IO engines is a
+#: modelling choice consistent with published uncore power breakdowns.
+V_SA_MC_POWER_HIGH = 0.28
+V_SA_INTERCONNECT_POWER_HIGH = 0.24
+V_SA_IO_ENGINES_POWER_HIGH = 0.12
+
+#: DDRIO-digital (V_IO rail) power at the high operating point (watts).
+DDRIO_DIGITAL_POWER_HIGH = 0.24
+
+#: DRAM background power (periodic refresh + peripheral maintenance) at the high
+#: operating point (watts), and the fraction of it that scales with frequency.
+DRAM_BACKGROUND_POWER_HIGH = 0.28
+DRAM_BACKGROUND_FREQUENCY_SCALED_FRACTION = 0.55
+
+#: DRAM self-refresh power (watts) -- drawn whenever the device is in self-refresh.
+DRAM_SELF_REFRESH_POWER = 0.015
+
+#: DRAM operation energy per byte transferred (joules/byte) at the reference
+#: 1.6 GHz bin; read/write/termination combined.
+DRAM_OPERATION_ENERGY_PER_BYTE = 28e-12
+
+#: Platform power that no policy can scale (fixed-function logic, PCH share, etc.).
+PLATFORM_FIXED_POWER = 0.20
+
+#: Fraction of the IO+memory worst-case budget reserved by the baseline PBM.
+#: The baseline reserves the worst-case power of the IO and memory domains
+#: (Observation 1) regardless of actual demand.
+BASELINE_IO_MEMORY_RESERVATION = 1.35
+
+#: Idle (power-gated / clock-gated) residual power of the compute domain during
+#: package C-states, used by battery-life workload modelling (watts).
+PACKAGE_C2_POWER = 0.55
+PACKAGE_C6_POWER = 0.18
+PACKAGE_C7_POWER = 0.12
+PACKAGE_C8_POWER = 0.09
+
+#: Default random seed used by synthetic corpus generation for reproducibility.
+DEFAULT_SEED = 2020

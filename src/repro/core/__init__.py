@@ -1,0 +1,42 @@
+"""SysScale: the paper's primary contribution.
+
+The package implements the three components of Sec. 4:
+
+* a **demand prediction mechanism** (``demand``) combining static estimation from
+  peripheral configuration registers with dynamic estimation from four dedicated
+  performance counters whose thresholds are calibrated offline (``thresholds``);
+* a **holistic power-management algorithm** (``algorithm``) that switches the IO
+  and memory domains between operating points (``operating_points``) every
+  evaluation interval and redistributes the freed power budget to the compute
+  domain;
+* a **power-management flow** (``flow``) that carries out the multi-domain DVFS
+  transition itself -- voltage moves, interconnect block/drain, DRAM self-refresh,
+  MRC reload from SRAM, PLL/DLL re-lock -- within the ~10 us budget of Sec. 5.
+
+``sysscale.SysScaleController`` ties the three together into a
+:class:`repro.sim.policy.Policy` the simulation engine can run.
+"""
+
+from repro.core.operating_points import OperatingPoint, OperatingPointTable, build_default_operating_points
+from repro.core.thresholds import CounterThresholds, ThresholdCalibrator
+from repro.core.demand import DemandPredictor, DemandPrediction, StaticDemandEstimator
+from repro.core.algorithm import HolisticPowerAlgorithm, AlgorithmDecision
+from repro.core.flow import TransitionFlow, TransitionReport, FlowStep
+from repro.core.sysscale import SysScaleController
+
+__all__ = [
+    "OperatingPoint",
+    "OperatingPointTable",
+    "build_default_operating_points",
+    "CounterThresholds",
+    "ThresholdCalibrator",
+    "DemandPredictor",
+    "DemandPrediction",
+    "StaticDemandEstimator",
+    "HolisticPowerAlgorithm",
+    "AlgorithmDecision",
+    "TransitionFlow",
+    "TransitionReport",
+    "FlowStep",
+    "SysScaleController",
+]

@@ -1,0 +1,40 @@
+"""Experiment harness: one module per table/figure of the paper's evaluation.
+
+Each experiment module exposes a ``run_*`` function returning a plain-dict result
+(rows/series mirroring what the paper reports) and a ``format_*`` helper that turns
+it into a printable table.  The benchmark suite (``benchmarks/``) calls these
+functions so every table and figure can be regenerated with
+``pytest benchmarks/ --benchmark-only`` or by running the example scripts.
+"""
+
+from repro.experiments.runner import ExperimentContext, build_context, format_table
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import run_table2
+from repro.experiments.fig2 import run_fig2_motivation
+from repro.experiments.fig3 import run_fig3_bandwidth_demand
+from repro.experiments.fig4 import run_fig4_mrc_impact
+from repro.experiments.fig5 import run_fig5_transition_flow
+from repro.experiments.fig6 import run_fig6_prediction
+from repro.experiments.fig7 import run_fig7_spec
+from repro.experiments.fig8 import run_fig8_graphics
+from repro.experiments.fig9 import run_fig9_battery_life
+from repro.experiments.fig10 import run_fig10_tdp_sensitivity
+from repro.experiments.sensitivity import run_dram_frequency_sensitivity
+
+__all__ = [
+    "ExperimentContext",
+    "build_context",
+    "format_table",
+    "run_table1",
+    "run_table2",
+    "run_fig2_motivation",
+    "run_fig3_bandwidth_demand",
+    "run_fig4_mrc_impact",
+    "run_fig5_transition_flow",
+    "run_fig6_prediction",
+    "run_fig7_spec",
+    "run_fig8_graphics",
+    "run_fig9_battery_life",
+    "run_fig10_tdp_sensitivity",
+    "run_dram_frequency_sensitivity",
+]

@@ -1,0 +1,46 @@
+"""Fig. 10: SysScale performance benefit vs. SoC thermal design power (TDP)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.baselines.fixed import FixedBaselinePolicy
+from repro.experiments.runner import ExperimentContext, build_context, mean
+from repro.workloads.spec2006 import spec_cpu2006_suite
+
+#: TDP points of Fig. 10 (watts).
+DEFAULT_TDP_POINTS: Tuple[float, ...] = (3.5, 4.5, 7.0, 15.0)
+
+
+def run_fig10_tdp_sensitivity(
+    tdp_points: Sequence[float] = DEFAULT_TDP_POINTS,
+    subset: Optional[Tuple[str, ...]] = None,
+    workload_duration: float = 1.0,
+) -> Dict[str, object]:
+    """Reproduce Fig. 10: distribution of SPEC improvements at each TDP.
+
+    A fresh platform (and hence a fresh PBM and threshold calibration) is built
+    per TDP, because every quantity derived from the power budget changes with it.
+    """
+    rows: List[Dict[str, object]] = []
+    for tdp in tdp_points:
+        context = build_context(tdp=tdp, workload_duration=workload_duration)
+        engine = context.engine
+        improvements: List[float] = []
+        for trace in spec_cpu2006_suite(duration=workload_duration, subset=subset):
+            baseline = engine.run(trace, FixedBaselinePolicy())
+            sysscale = engine.run(trace, context.sysscale())
+            improvements.append(sysscale.performance_improvement_over(baseline))
+        ordered = sorted(improvements)
+        rows.append(
+            {
+                "tdp_w": tdp,
+                "average": mean(improvements),
+                "median": ordered[len(ordered) // 2],
+                "max": max(improvements),
+                "min": min(improvements),
+                "improvements": improvements,
+            }
+        )
+
+    return {"experiment": "fig10", "rows": rows}

@@ -1,0 +1,67 @@
+"""Fig. 2: motivation study -- static MD-DVFS on the three SPEC workloads.
+
+(a) impact of the static MD-DVFS setup on average power, energy, performance and
+    EDP, plus the effect of handing the saved power back to the CPU (the 1.2 ->
+    1.3 GHz experiment);
+(b) bottleneck decomposition of the three workloads;
+(c) their memory-bandwidth demand.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro import config
+from repro.baselines.fixed import FixedBaselinePolicy
+from repro.baselines.md_dvfs import StaticMdDvfsPolicy
+from repro.experiments.runner import ExperimentContext, build_context
+from repro.perf.bottleneck import analyze_bottlenecks
+from repro.workloads.spec2006 import MOTIVATION_BENCHMARKS, spec_workload
+
+
+def run_fig2_motivation(context: ExperimentContext | None = None) -> Dict[str, object]:
+    """Reproduce Fig. 2(a)-(c) on the simulated Broadwell-class platform."""
+    if context is None:
+        context = build_context()
+    engine = context.engine
+
+    impact_rows: List[Dict[str, object]] = []
+    bottleneck_rows: List[Dict[str, object]] = []
+    bandwidth_rows: List[Dict[str, object]] = []
+
+    for name in MOTIVATION_BENCHMARKS:
+        trace = spec_workload(name, duration=context.workload_duration)
+        baseline = engine.run(trace, FixedBaselinePolicy())
+        md_dvfs = engine.run(trace, StaticMdDvfsPolicy())
+        boosted = engine.run(
+            trace, StaticMdDvfsPolicy(redistribute_to_compute=True)
+        )
+
+        impact_rows.append(
+            {
+                "workload": name,
+                "power_reduction": md_dvfs.power_reduction_vs(baseline),
+                "energy_reduction": md_dvfs.energy_reduction_vs(baseline),
+                "performance_change": md_dvfs.performance_improvement_over(baseline),
+                "edp_improvement": md_dvfs.edp_improvement_over(baseline),
+                "performance_with_redistribution": boosted.performance_improvement_over(
+                    baseline
+                ),
+            }
+        )
+        breakdown = analyze_bottlenecks(trace)
+        bottleneck_rows.append(breakdown.as_dict())
+        bandwidth_rows.append(
+            {
+                "workload": name,
+                "average_bandwidth_gbps": trace.average_bandwidth_demand / config.GBPS,
+                "peak_bandwidth_gbps": trace.peak_bandwidth_demand / config.GBPS,
+            }
+        )
+
+    return {
+        "experiment": "fig2",
+        "impact": impact_rows,
+        "bottlenecks": bottleneck_rows,
+        "bandwidth_demand": bandwidth_rows,
+    }

@@ -1,0 +1,73 @@
+"""Fig. 3: memory bandwidth demand over time and per IO/compute component.
+
+(a) bandwidth demand over time for three SPEC workloads and a 3DMark workload;
+(b) average bandwidth demand of the display engine, ISP engine, and graphics
+    engines across configurations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro import config
+from repro.experiments.runner import ExperimentContext, build_context
+from repro.workloads.graphics import graphics_workload
+from repro.workloads.io_devices import STANDARD_CONFIGURATIONS
+from repro.workloads.spec2006 import spec_workload
+
+#: The workloads plotted in Fig. 3(a).
+FIG3_WORKLOADS = ("400.perlbench", "473.astar", "470.lbm")
+
+
+def run_fig3_bandwidth_demand(
+    context: ExperimentContext | None = None,
+    sample_interval: float = config.ms(100),
+) -> Dict[str, object]:
+    """Reproduce Fig. 3(a) time series and Fig. 3(b) per-component demands."""
+    if context is None:
+        context = build_context()
+
+    timelines: Dict[str, List[Dict[str, float]]] = {}
+    for name in FIG3_WORKLOADS:
+        trace = spec_workload(name, duration=context.workload_duration)
+        timelines[name] = [
+            {"time_s": t, "bandwidth_gbps": bw / config.GBPS}
+            for t, bw in trace.bandwidth_timeline(sample_interval)
+        ]
+    gfx_trace = graphics_workload("3DMark06")
+    timelines["3DMark06"] = [
+        {"time_s": t, "bandwidth_gbps": bw / config.GBPS}
+        for t, bw in gfx_trace.bandwidth_timeline(sample_interval)
+    ]
+
+    component_rows: List[Dict[str, object]] = []
+    peak = config.LPDDR3_PEAK_BANDWIDTH
+    for config_name, peripheral in STANDARD_CONFIGURATIONS.items():
+        component_rows.append(
+            {
+                "configuration": config_name,
+                "display_bandwidth_gbps": peripheral.display.bandwidth_demand / config.GBPS,
+                "isp_bandwidth_gbps": peripheral.camera.bandwidth_demand / config.GBPS,
+                "fraction_of_peak": peripheral.static_bandwidth_demand / peak,
+            }
+        )
+    for gfx_name in ("3DMark06", "3DMark11", "3DMark Vantage"):
+        trace = graphics_workload(gfx_name)
+        gfx_demand = sum(
+            phase.gfx_bandwidth_demand * phase.duration for phase in trace.phases
+        ) / trace.total_duration
+        component_rows.append(
+            {
+                "configuration": f"gfx_{gfx_name}",
+                "display_bandwidth_gbps": 0.0,
+                "isp_bandwidth_gbps": 0.0,
+                "gfx_bandwidth_gbps": gfx_demand / config.GBPS,
+                "fraction_of_peak": gfx_demand / peak,
+            }
+        )
+
+    return {
+        "experiment": "fig3",
+        "timelines": timelines,
+        "component_demand": component_rows,
+    }

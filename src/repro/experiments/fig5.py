@@ -1,0 +1,41 @@
+"""Fig. 5 / Sec. 5: the SysScale DVFS transition flow and its latency budget."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro import config
+from repro.core.flow import TransitionFlow
+from repro.experiments.runner import ExperimentContext, build_context
+
+
+def run_fig5_transition_flow(
+    context: ExperimentContext | None = None,
+) -> Dict[str, object]:
+    """Execute the Fig. 5 flow in both directions and report per-step latencies."""
+    if context is None:
+        context = build_context()
+    platform = context.platform
+    points = context.operating_points
+
+    flow = TransitionFlow(
+        rails=platform.soc.rails,
+        interconnect=platform.soc.interconnect_fabric,
+        dram=platform.dram,
+        mrc_sram=platform.mrc_sram,
+        mrc_registers=platform.mrc_registers,
+    )
+
+    reports: List[Dict[str, object]] = []
+    down = flow.execute(points.high, points.low)
+    reports.append(down.as_dict())
+    up = flow.execute(points.low, points.high)
+    reports.append(up.as_dict())
+
+    return {
+        "experiment": "fig5",
+        "transitions": reports,
+        "budget_us": config.TRANSITION_TOTAL_LATENCY_BUDGET / config.US,
+        "worst_latency_us": flow.worst_observed_latency / config.US,
+        "within_budget": all(report["within_budget"] for report in reports),
+    }

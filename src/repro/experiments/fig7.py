@@ -1,0 +1,57 @@
+"""Fig. 7: SPEC CPU2006 performance improvement of MemScale-R, CoScale-R, SysScale."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.baselines.coscale import CoScaleRedistProjection
+from repro.baselines.fixed import FixedBaselinePolicy
+from repro.baselines.memscale import MemScaleRedistProjection
+from repro.experiments.runner import ExperimentContext, build_context, mean
+from repro.workloads.spec2006 import spec_cpu2006_suite
+
+
+def run_fig7_spec(
+    context: ExperimentContext | None = None,
+    subset: Optional[Tuple[str, ...]] = None,
+) -> Dict[str, object]:
+    """Reproduce Fig. 7: per-benchmark and average performance improvements.
+
+    SysScale and the baseline are simulated; MemScale-Redist and CoScale-Redist are
+    projected with the Sec. 6 methodology, exactly as in the paper.
+    """
+    if context is None:
+        context = build_context()
+    engine = context.engine
+    memscale = MemScaleRedistProjection(platform=context.platform)
+    coscale = CoScaleRedistProjection(platform=context.platform)
+
+    rows: List[Dict[str, object]] = []
+    for trace in spec_cpu2006_suite(duration=context.workload_duration, subset=subset):
+        baseline = engine.run(trace, FixedBaselinePolicy())
+        sysscale = engine.run(trace, context.sysscale())
+        rows.append(
+            {
+                "workload": trace.name,
+                "memscale_redist": memscale.project(trace).performance_improvement,
+                "coscale_redist": coscale.project(trace).performance_improvement,
+                "sysscale": sysscale.performance_improvement_over(baseline),
+                "sysscale_low_residency": sysscale.low_point_residency,
+                "cpu_scalability": trace.cpu_frequency_scalability,
+            }
+        )
+
+    return {
+        "experiment": "fig7",
+        "rows": rows,
+        "average": {
+            "memscale_redist": mean(row["memscale_redist"] for row in rows),
+            "coscale_redist": mean(row["coscale_redist"] for row in rows),
+            "sysscale": mean(row["sysscale"] for row in rows),
+        },
+        "max": {
+            "memscale_redist": max(row["memscale_redist"] for row in rows),
+            "coscale_redist": max(row["coscale_redist"] for row in rows),
+            "sysscale": max(row["sysscale"] for row in rows),
+        },
+    }

@@ -1,0 +1,45 @@
+"""Fig. 8: 3DMark performance improvement of MemScale-R, CoScale-R, SysScale."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.baselines.coscale import CoScaleRedistProjection
+from repro.baselines.fixed import FixedBaselinePolicy
+from repro.baselines.memscale import MemScaleRedistProjection
+from repro.experiments.runner import ExperimentContext, build_context, mean
+from repro.workloads.graphics import graphics_suite
+
+
+def run_fig8_graphics(context: ExperimentContext | None = None) -> Dict[str, object]:
+    """Reproduce Fig. 8: per-benchmark improvements on the three 3DMark variants."""
+    if context is None:
+        context = build_context()
+    engine = context.engine
+    memscale = MemScaleRedistProjection(platform=context.platform)
+    coscale = CoScaleRedistProjection(platform=context.platform)
+
+    rows: List[Dict[str, object]] = []
+    for trace in graphics_suite():
+        baseline = engine.run(trace, FixedBaselinePolicy())
+        sysscale = engine.run(trace, context.sysscale())
+        rows.append(
+            {
+                "workload": trace.name,
+                "memscale_redist": memscale.project(trace).performance_improvement,
+                "coscale_redist": coscale.project(trace).performance_improvement,
+                "sysscale": sysscale.performance_improvement_over(baseline),
+                "baseline_gfx_mhz": baseline.average_gfx_frequency / 1e6,
+                "sysscale_gfx_mhz": sysscale.average_gfx_frequency / 1e6,
+            }
+        )
+
+    return {
+        "experiment": "fig8",
+        "rows": rows,
+        "average": {
+            "memscale_redist": mean(row["memscale_redist"] for row in rows),
+            "coscale_redist": mean(row["coscale_redist"] for row in rows),
+            "sysscale": mean(row["sysscale"] for row in rows),
+        },
+    }

@@ -1,0 +1,54 @@
+"""Fig. 9: battery-life workload average-power reduction."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.baselines.coscale import CoScaleRedistProjection
+from repro.baselines.fixed import FixedBaselinePolicy
+from repro.baselines.memscale import MemScaleRedistProjection
+from repro.experiments.runner import ExperimentContext, build_context, mean
+from repro.workloads.batterylife import battery_life_suite
+from repro.workloads.io_devices import STANDARD_CONFIGURATIONS
+
+
+def run_fig9_battery_life(
+    context: ExperimentContext | None = None,
+    peripheral_configuration: str = "single_hd",
+) -> Dict[str, object]:
+    """Reproduce Fig. 9: average-power reduction with a single HD panel active."""
+    if context is None:
+        context = build_context()
+    engine = context.engine
+    peripherals = STANDARD_CONFIGURATIONS[peripheral_configuration]
+    memscale = MemScaleRedistProjection(platform=context.platform)
+    coscale = CoScaleRedistProjection(platform=context.platform)
+
+    rows: List[Dict[str, object]] = []
+    for trace in battery_life_suite():
+        baseline = engine.run(trace, FixedBaselinePolicy(), peripherals=peripherals)
+        sysscale = engine.run(trace, context.sysscale(), peripherals=peripherals)
+        rows.append(
+            {
+                "workload": trace.name,
+                "baseline_power_w": baseline.average_power,
+                "memscale_redist": memscale.project(
+                    trace, baseline_average_power=baseline.average_power
+                ).power_reduction,
+                "coscale_redist": coscale.project(
+                    trace, baseline_average_power=baseline.average_power
+                ).power_reduction,
+                "sysscale": sysscale.power_reduction_vs(baseline),
+                "sysscale_low_residency": sysscale.low_point_residency,
+            }
+        )
+
+    return {
+        "experiment": "fig9",
+        "rows": rows,
+        "average": {
+            "memscale_redist": mean(row["memscale_redist"] for row in rows),
+            "coscale_redist": mean(row["coscale_redist"] for row in rows),
+            "sysscale": mean(row["sysscale"] for row in rows),
+        },
+    }

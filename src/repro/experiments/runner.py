@@ -1,0 +1,96 @@
+"""Shared experiment plumbing: platform/engine construction and table formatting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro import config
+from repro.core.operating_points import OperatingPointTable, build_default_operating_points
+from repro.core.sysscale import SysScaleController, default_thresholds
+from repro.core.thresholds import CounterThresholds
+from repro.sim.engine import SimulationConfig, SimulationEngine
+from repro.sim.platform import Platform, build_platform
+
+
+@dataclass
+class ExperimentContext:
+    """Everything an experiment needs: platform, engine, thresholds, operating points.
+
+    Building the context once and sharing it across experiments avoids repeating
+    the threshold calibration (the paper's offline procedure) for every figure.
+    """
+
+    platform: Platform
+    engine: SimulationEngine
+    thresholds: CounterThresholds
+    operating_points: OperatingPointTable
+    workload_duration: float = 1.0
+
+    def sysscale(self) -> SysScaleController:
+        """A fresh SysScale controller bound to this context's platform."""
+        return SysScaleController(
+            platform=self.platform,
+            operating_points=self.operating_points,
+            thresholds=self.thresholds,
+        )
+
+
+def build_context(
+    tdp: float = config.SKYLAKE_DEFAULT_TDP,
+    workload_duration: float = 1.0,
+    sim_config: Optional[SimulationConfig] = None,
+) -> ExperimentContext:
+    """Build the default experiment context (Skylake M-6Y75, Table 2)."""
+    platform = build_platform(tdp=tdp)
+    operating_points = build_default_operating_points(platform)
+    thresholds = default_thresholds(platform, operating_points)
+    engine = SimulationEngine(platform, sim_config)
+    return ExperimentContext(
+        platform=platform,
+        engine=engine,
+        thresholds=thresholds,
+        operating_points=operating_points,
+        workload_duration=workload_duration,
+    )
+
+
+def format_table(
+    rows: Sequence[Dict[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render a list of row dictionaries as an aligned text table."""
+    rows = list(rows)
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def render(value: object) -> str:
+        if isinstance(value, bool):
+            return str(value)
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    rendered = [[render(row.get(column, "")) for column in columns] for row in rows]
+    widths = [
+        max(len(str(column)), max(len(line[index]) for line in rendered))
+        for index, column in enumerate(columns)
+    ]
+    header = "  ".join(str(column).ljust(width) for column, width in zip(columns, widths))
+    separator = "  ".join("-" * width for width in widths)
+    body = [
+        "  ".join(cell.ljust(width) for cell, width in zip(line, widths))
+        for line in rendered
+    ]
+    return "\n".join([header, separator, *body])
+
+
+def mean(values: Iterable[float]) -> float:
+    """Arithmetic mean of a non-empty iterable."""
+    values = list(values)
+    if not values:
+        raise ValueError("cannot average an empty sequence")
+    return sum(values) / len(values)

@@ -1,0 +1,92 @@
+"""Sec. 7.4 sensitivity studies: DRAM device type and additional operating points.
+
+Two questions from the paper's sensitivity discussion are reproduced:
+
+* how much less power is freed when scaling DDR4 from 1.86 to 1.33 GHz than when
+  scaling LPDDR3 from 1.6 to 1.06 GHz (the paper reports roughly 7 % less);
+* whether adding the 0.8 GHz LPDDR3 bin as a third operating point is worthwhile
+  (the paper decides against it: V_SA is already at Vmin at 1.06 GHz and the
+  performance degradation at 0.8 GHz is 2-3x larger).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro import config
+from repro.core.operating_points import (
+    build_ddr4_operating_points,
+    build_default_operating_points,
+)
+from repro.core.thresholds import ThresholdCalibrator
+from repro.experiments.runner import ExperimentContext, build_context
+from repro.memory.dram import ddr4_device
+from repro.sim.platform import build_platform
+from repro.workloads.corpus import CorpusGenerator
+from repro.workloads.trace import WorkloadClass
+
+
+def run_dram_frequency_sensitivity(
+    context: ExperimentContext | None = None,
+    corpus_size: int = 80,
+    seed: int = config.DEFAULT_SEED + 11,
+) -> Dict[str, object]:
+    """Reproduce the Sec. 7.4 DRAM-device and operating-point sensitivity results."""
+    if context is None:
+        context = build_context()
+
+    # --- LPDDR3 1.6 -> 1.06 GHz: the power freed by the default low point -------
+    lpddr3_platform = context.platform
+    lpddr3_points = context.operating_points
+    lpddr3_savings = (
+        lpddr3_platform.worst_case_io_memory_power()
+        - lpddr3_points.low.provisioned_io_memory_power(lpddr3_platform)
+    )
+
+    # --- DDR4 1.86 -> 1.33 GHz ---------------------------------------------------
+    ddr4_platform = build_platform(tdp=context.platform.tdp, dram=ddr4_device())
+    ddr4_points = build_ddr4_operating_points()
+    ddr4_savings = ddr4_platform.worst_case_io_memory_power(
+        dram_frequency=ddr4_points.high.dram_frequency
+    ) - ddr4_points.low.provisioned_io_memory_power(ddr4_platform)
+
+    savings_deficit = 1.0 - ddr4_savings / lpddr3_savings if lpddr3_savings > 0 else 0.0
+
+    # --- Adding the 0.8 GHz bin as a third operating point ----------------------
+    three_points = build_default_operating_points(include_lowest_bin=True)
+    extra_savings = (
+        three_points.points[1].provisioned_io_memory_power(lpddr3_platform)
+        - three_points.low.provisioned_io_memory_power(lpddr3_platform)
+    )
+
+    calibrator = ThresholdCalibrator(
+        platform=lpddr3_platform, operating_points=lpddr3_points
+    )
+    generator = CorpusGenerator(seed=seed)
+    corpus = generator.generate_class(WorkloadClass.CPU_SINGLE_THREAD, corpus_size)
+    degradation_106 = []
+    degradation_08 = []
+    for workload in corpus:
+        degradation_106.append(
+            calibrator.measure_degradation(
+                workload.trace, lpddr3_points.high, lpddr3_points.low
+            )
+        )
+        degradation_08.append(
+            calibrator.measure_degradation(
+                workload.trace, three_points.high, three_points.low
+            )
+        )
+    mean_106 = sum(degradation_106) / len(degradation_106)
+    mean_08 = sum(degradation_08) / len(degradation_08)
+
+    return {
+        "experiment": "sensitivity",
+        "lpddr3_power_savings_w": lpddr3_savings,
+        "ddr4_power_savings_w": ddr4_savings,
+        "ddr4_savings_deficit": savings_deficit,
+        "extra_savings_from_0p8_bin_w": extra_savings,
+        "mean_degradation_1p06": mean_106,
+        "mean_degradation_0p8": mean_08,
+        "degradation_ratio_0p8_vs_1p06": (mean_08 / mean_106) if mean_106 > 0 else 0.0,
+    }

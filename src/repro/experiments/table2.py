@@ -1,0 +1,49 @@
+"""Table 2: SoC and memory parameters of the evaluation platform."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro import config
+from repro.experiments.runner import ExperimentContext, build_context
+from repro.soc.broadwell import build_broadwell_soc
+
+
+def run_table2(context: ExperimentContext | None = None) -> Dict[str, object]:
+    """Reproduce Table 2: the platform parameters used throughout the evaluation."""
+    if context is None:
+        context = build_context()
+    skylake = context.platform.soc
+    broadwell = build_broadwell_soc()
+
+    rows: List[Dict[str, object]] = [
+        {"parameter": "Motivation SoC", "value": broadwell.name},
+        {"parameter": "Evaluation SoC", "value": skylake.name},
+        {
+            "parameter": "CPU core base frequency (GHz)",
+            "value": skylake.cpu.base_frequency / config.GHZ,
+        },
+        {
+            "parameter": "Graphics engine base frequency (MHz)",
+            "value": skylake.gfx.base_frequency / config.MHZ,
+        },
+        {
+            "parameter": "L3 cache / LLC (MiB)",
+            "value": skylake.uncore.llc_bytes / (1024 * 1024),
+        },
+        {"parameter": "Thermal design power (W)", "value": skylake.tdp},
+        {"parameter": "Process node (nm)", "value": skylake.process_node_nm},
+        {
+            "parameter": "Memory",
+            "value": (
+                f"LPDDR3-{int(skylake.dram.max_frequency / config.MHZ)}, non-ECC, "
+                f"{skylake.dram.channels}-channel, "
+                f"{skylake.dram.organization.capacity_bytes // 1024 ** 3} GB"
+            ),
+        },
+        {
+            "parameter": "Peak memory bandwidth (GB/s)",
+            "value": skylake.peak_memory_bandwidth / config.GBPS,
+        },
+    ]
+    return {"experiment": "table2", "rows": rows}

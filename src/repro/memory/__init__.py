@@ -1,0 +1,48 @@
+"""Memory subsystem substrate: DRAM device, timings, DDRIO, MRC, controller, power.
+
+This package models the memory domain of Fig. 1: the memory controller, the DRAM
+interface (DDRIO, analog and digital), and the DRAM devices themselves, including
+the frequency bins the devices support, the self-refresh state used during DVFS
+transitions, and the memory-reference-code (MRC) configuration registers whose
+per-frequency optimization is one of SysScale's key mechanisms (Sec. 2.5, Fig. 4).
+"""
+
+from repro.memory.timings import DramTimings, timings_for_frequency
+from repro.memory.dram import (
+    DramTechnology,
+    DramDevice,
+    DramOrganization,
+    SelfRefreshError,
+    lpddr3_device,
+    ddr4_device,
+)
+from repro.memory.ddrio import DdrioModel
+from repro.memory.mrc import (
+    MrcConfigurationSet,
+    MrcRegisterFile,
+    MrcSram,
+    MrcTrainingError,
+    train_mrc,
+)
+from repro.memory.controller import MemoryControllerModel
+from repro.memory.power import MemoryPowerModel, MemoryPowerBreakdown
+
+__all__ = [
+    "DramTimings",
+    "timings_for_frequency",
+    "DramTechnology",
+    "DramDevice",
+    "DramOrganization",
+    "SelfRefreshError",
+    "lpddr3_device",
+    "ddr4_device",
+    "DdrioModel",
+    "MrcConfigurationSet",
+    "MrcRegisterFile",
+    "MrcSram",
+    "MrcTrainingError",
+    "train_mrc",
+    "MemoryControllerModel",
+    "MemoryPowerModel",
+    "MemoryPowerBreakdown",
+]

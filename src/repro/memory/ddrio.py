@@ -1,0 +1,94 @@
+"""DDRIO (DRAM interface) model.
+
+Fig. 1 splits the DRAM interface into a digital part (on the V_IO rail, scalable)
+and an analog part (on VDDQ together with the DRAM devices, not scalable on
+commercial parts -- Sec. 2.4).  SysScale concurrently applies DVFS to DDRIO-digital
+whenever it scales the memory subsystem; one of its domain-specialized mechanisms
+is "adding a dedicated scalable voltage supply" to the DRAM interface (Sec. 1).
+
+The model exposes the interface power as a function of frequency, voltage scale,
+and utilization, separating the frequency-dependent IO/register power from the
+utilization-dependent termination power (Sec. 2.3: "termination power depends on
+interface utilization and it is not directly frequency-dependent").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import config
+
+
+@dataclass
+class DdrioModel:
+    """Power model of the DDRIO digital and analog sections.
+
+    Parameters
+    ----------
+    digital_power_high:
+        Power of the digital section at the high operating point, full V_IO, watts.
+    analog_power_high:
+        Power of the analog section (drivers/receivers on VDDQ) at the high
+        operating point, watts.
+    termination_power_peak:
+        Termination power at 100 % interface utilization, watts.
+    reference_frequency:
+        The data rate at which the ``*_high`` figures were characterised (Hz).
+    """
+
+    digital_power_high: float = config.DDRIO_DIGITAL_POWER_HIGH
+    analog_power_high: float = 0.08
+    termination_power_peak: float = 0.12
+    reference_frequency: float = config.LPDDR3_FREQUENCY_BINS[0]
+
+    def __post_init__(self) -> None:
+        for name in (
+            "digital_power_high",
+            "analog_power_high",
+            "termination_power_peak",
+            "reference_frequency",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+        if self.reference_frequency <= 0:
+            raise ValueError("reference frequency must be positive")
+
+    def digital_power(self, frequency: float, v_io_scale: float = 1.0) -> float:
+        """Power of the DDRIO-digital section (V_IO rail): ``P ~ V^2 * f``."""
+        self._check(frequency, v_io_scale)
+        frequency_ratio = frequency / self.reference_frequency
+        return self.digital_power_high * v_io_scale ** 2 * frequency_ratio
+
+    def analog_power(self, frequency: float) -> float:
+        """Power of the DDRIO-analog section (VDDQ rail, voltage fixed): ``P ~ f``."""
+        self._check(frequency, 1.0)
+        return self.analog_power_high * (frequency / self.reference_frequency)
+
+    def termination_power(self, utilization: float) -> float:
+        """Termination power: proportional to utilization, frequency-independent."""
+        if not 0.0 <= utilization <= 1.0:
+            raise ValueError("utilization must be in [0, 1]")
+        return self.termination_power_peak * utilization
+
+    def total_power(
+        self,
+        frequency: float,
+        utilization: float,
+        v_io_scale: float = 1.0,
+        in_self_refresh: bool = False,
+    ) -> float:
+        """Total DDRIO power; in self-refresh only a small fraction of digital power remains."""
+        if in_self_refresh:
+            return 0.1 * self.digital_power(frequency, v_io_scale)
+        return (
+            self.digital_power(frequency, v_io_scale)
+            + self.analog_power(frequency)
+            + self.termination_power(utilization)
+        )
+
+    @staticmethod
+    def _check(frequency: float, scale: float) -> None:
+        if frequency <= 0:
+            raise ValueError("frequency must be positive")
+        if not 0 < scale <= 1.5:
+            raise ValueError("voltage scale must be in (0, 1.5]")

@@ -1,0 +1,216 @@
+"""Memory Reference Code (MRC): per-frequency configuration registers.
+
+Sec. 2.5 explains that the BIOS MRC trains the memory controller, DDRIO, and DIMM
+configuration registers for *one* DRAM frequency; when DVFS moves the memory
+subsystem to a different frequency those registers are stale ("unoptimized") and
+can degrade performance and negate the benefits of DVFS.  Fig. 4 quantifies the
+penalty on a peak-bandwidth microbenchmark: roughly 22 % higher average power and
+10 % lower performance.
+
+SysScale fixes this by performing MRC training for every supported frequency at
+reset, storing the resulting register sets in ~0.5 KB of on-chip SRAM, and loading
+the right set during each DVFS transition (Sec. 5, Fig. 5 step 5).  This module
+models the register sets, the SRAM that stores them, and the penalty of running
+with a mismatched set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro import config
+from repro.memory.timings import DramTimings
+
+
+class MrcTrainingError(ValueError):
+    """Raised when MRC training or register loading is given invalid input."""
+
+
+@dataclass(frozen=True)
+class MrcConfigurationSet:
+    """The register values MRC training produces for one DRAM frequency.
+
+    The fields are the quantities that actually matter to the model: the cycle-count
+    timings programmed into the memory controller, the DDRIO drive/equalization
+    settings (abstracted as a single efficiency factor), and the frequency the set
+    was trained for.
+    """
+
+    trained_frequency: float
+    trcd_cycles: int
+    tcl_cycles: int
+    trp_cycles: int
+    drive_strength_code: int
+    equalization_code: int
+    register_bytes: int = 96
+
+    def __post_init__(self) -> None:
+        if self.trained_frequency <= 0:
+            raise MrcTrainingError("trained frequency must be positive")
+        for name in ("trcd_cycles", "tcl_cycles", "trp_cycles"):
+            if getattr(self, name) <= 0:
+                raise MrcTrainingError(f"{name} must be positive")
+        if self.register_bytes <= 0:
+            raise MrcTrainingError("register footprint must be positive")
+
+    def matches(self, frequency: float, tolerance: float = 1e3) -> bool:
+        """True if this set was trained for ``frequency``."""
+        return abs(self.trained_frequency - frequency) <= tolerance
+
+
+def train_mrc(timings: DramTimings) -> MrcConfigurationSet:
+    """Perform (model-level) MRC training for one frequency bin.
+
+    The cycle counts come straight from the timing set; the interface training
+    codes are deterministic functions of the data rate, standing in for the real
+    eye-training procedure (JEDEC [47]).
+    """
+    clock = timings.clock_period
+    if clock <= 0:
+        raise MrcTrainingError("invalid timing set: non-positive clock period")
+    return MrcConfigurationSet(
+        trained_frequency=timings.data_rate,
+        trcd_cycles=max(1, round(timings.trcd / clock)),
+        tcl_cycles=max(1, round(timings.tcl / clock)),
+        trp_cycles=max(1, round(timings.trp / clock)),
+        drive_strength_code=int(timings.data_rate / config.MHZ) % 64,
+        equalization_code=int(timings.data_rate / config.MHZ) % 16,
+    )
+
+
+@dataclass
+class MrcSram:
+    """The on-chip SRAM that holds one trained register set per frequency bin.
+
+    Sec. 5: "To support MRC updates, we need to dedicate approximately 0.5 KB of
+    SRAM".  The model enforces that budget so mis-parameterisation is caught.
+    """
+
+    capacity_bytes: int = config.MRC_SRAM_BYTES
+    _sets: Dict[float, MrcConfigurationSet] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise MrcTrainingError("SRAM capacity must be positive")
+
+    def store(self, configuration: MrcConfigurationSet) -> None:
+        """Store a trained set; raises if the SRAM budget would be exceeded."""
+        projected = self.used_bytes + configuration.register_bytes
+        key = configuration.trained_frequency
+        if key in self._sets:
+            projected -= self._sets[key].register_bytes
+        if projected > self.capacity_bytes:
+            raise MrcTrainingError(
+                f"storing the set for {key / config.GHZ:.2f} GHz would use "
+                f"{projected} B, exceeding the {self.capacity_bytes} B SRAM budget"
+            )
+        self._sets[key] = configuration
+
+    def load(self, frequency: float) -> MrcConfigurationSet:
+        """Retrieve the set trained for ``frequency``; raises ``KeyError`` if absent."""
+        for trained, configuration in self._sets.items():
+            if abs(trained - frequency) <= 1e3:
+                return configuration
+        raise KeyError(
+            f"no MRC set stored for {frequency / config.GHZ:.2f} GHz; stored: "
+            f"{[f / config.GHZ for f in self._sets]}"
+        )
+
+    def has_frequency(self, frequency: float) -> bool:
+        """True if a set trained for ``frequency`` is stored."""
+        return any(abs(trained - frequency) <= 1e3 for trained in self._sets)
+
+    @property
+    def used_bytes(self) -> int:
+        """Bytes of SRAM currently occupied."""
+        return sum(s.register_bytes for s in self._sets.values())
+
+    @property
+    def stored_frequencies(self) -> List[float]:
+        """Frequencies with a stored set, highest first."""
+        return sorted(self._sets, reverse=True)
+
+    def load_latency(self) -> float:
+        """Latency of copying a set from SRAM into the configuration registers.
+
+        Sec. 5 budgets this at less than 1 us.
+        """
+        return config.TRANSITION_MRC_LOAD_LATENCY
+
+
+@dataclass
+class MrcRegisterFile:
+    """The live configuration registers of the MC, DDRIO, and DRAM devices.
+
+    The register file always holds exactly one configuration set.  Whether that set
+    matches the *current* operating frequency determines the optimized/unoptimized
+    penalties applied by the performance and power models (Fig. 4).
+    """
+
+    loaded: MrcConfigurationSet
+    bandwidth_penalty: float = config.UNOPTIMIZED_MRC_PERFORMANCE_PENALTY
+    power_penalty: float = config.UNOPTIMIZED_MRC_POWER_PENALTY
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.bandwidth_penalty < 1.0:
+            raise MrcTrainingError("bandwidth penalty must be in [0, 1)")
+        if self.power_penalty < 0.0:
+            raise MrcTrainingError("power penalty must be non-negative")
+
+    def load(self, configuration: MrcConfigurationSet) -> None:
+        """Overwrite the live registers with ``configuration``."""
+        self.loaded = configuration
+
+    def is_optimized_for(self, frequency: float) -> bool:
+        """True when the loaded set was trained for ``frequency``."""
+        return self.loaded.matches(frequency)
+
+    def effective_bandwidth_derate(self, frequency: float) -> float:
+        """Multiplier (<= 1) on achievable bandwidth at ``frequency``.
+
+        An optimized register file achieves the full interface bandwidth; a
+        mismatched one loses ``bandwidth_penalty`` (Fig. 4: ~10 % performance loss
+        on a peak-bandwidth microbenchmark).
+        """
+        if self.is_optimized_for(frequency):
+            return 1.0
+        return 1.0 - self.bandwidth_penalty
+
+    def access_latency_factor(self, frequency: float) -> float:
+        """Multiplier (>= 1) on DRAM access latency at ``frequency``."""
+        if self.is_optimized_for(frequency):
+            return 1.0
+        # Guard-banded timings: a mismatched set runs with padded cycle counts.
+        return 1.0 + self.bandwidth_penalty
+
+    def interface_power_factor(self, frequency: float) -> float:
+        """Multiplier (>= 1) on DRAM interface/operation power at ``frequency``.
+
+        Fig. 4: unoptimized values cost ~22 % more average power on a
+        bandwidth-intensive microbenchmark; the factor applies to the operation
+        and termination components, which dominate in that scenario.
+        """
+        if self.is_optimized_for(frequency):
+            return 1.0
+        return 1.0 + self.power_penalty
+
+
+def build_mrc_sram_for_bins(
+    timing_sets: Iterable[DramTimings],
+    capacity_bytes: int = config.MRC_SRAM_BYTES,
+) -> Tuple[MrcSram, Dict[float, MrcConfigurationSet]]:
+    """Train MRC for every timing set and store the results in a fresh SRAM.
+
+    Returns the populated SRAM and the mapping of frequency to configuration set.
+    This is the reset-time procedure described in Sec. 5.
+    """
+    sram = MrcSram(capacity_bytes=capacity_bytes)
+    trained: Dict[float, MrcConfigurationSet] = {}
+    for timings in timing_sets:
+        configuration = train_mrc(timings)
+        sram.store(configuration)
+        trained[timings.data_rate] = configuration
+    if not trained:
+        raise MrcTrainingError("at least one timing set is required")
+    return sram, trained

@@ -1,0 +1,26 @@
+"""Performance modelling: counters, latency, phase performance, bottlenecks.
+
+This package turns an SoC configuration and a workload phase into execution-time
+and throughput estimates, and synthesises the hardware performance counters the
+SysScale demand predictor reads (Sec. 4.2): ``GFX_LLC_MISSES``,
+``LLC_Occupancy_Tracer``, ``LLC_STALLS``, and ``IO_RPQ``.
+"""
+
+from repro.perf.counters import CounterName, CounterSample, PerformanceCounterUnit
+from repro.perf.latency import MemoryLatencyModel
+from repro.perf.model import PhasePerformanceModel, PhaseSlowdown
+from repro.perf.bottleneck import BottleneckBreakdown, analyze_bottlenecks
+from repro.perf.scalability import frequency_scalability, amdahl_speedup
+
+__all__ = [
+    "CounterName",
+    "CounterSample",
+    "PerformanceCounterUnit",
+    "MemoryLatencyModel",
+    "PhasePerformanceModel",
+    "PhaseSlowdown",
+    "BottleneckBreakdown",
+    "analyze_bottlenecks",
+    "frequency_scalability",
+    "amdahl_speedup",
+]

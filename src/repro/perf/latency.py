@@ -1,0 +1,81 @@
+"""Memory access latency as a function of the SoC configuration.
+
+Sec. 2.4 lists the three performance effects of reducing the memory subsystem
+frequency: longer data bursts, slower memory controller and DRAM interface, and
+larger queueing delays.  :class:`MemoryLatencyModel` wraps the memory-controller
+model and exposes the quantity the phase performance model needs: the ratio of
+average loaded memory latency under an arbitrary configuration to the latency at
+the reference (high) configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro import config
+from repro.memory.controller import MemoryControllerModel
+from repro.memory.mrc import MrcRegisterFile
+from repro.soc.domains import SoCState
+
+
+@dataclass
+class MemoryLatencyModel:
+    """Loaded memory latency and latency ratios relative to a reference state."""
+
+    controller: MemoryControllerModel
+    reference_dram_frequency: float = config.LPDDR3_FREQUENCY_BINS[0]
+    reference_interconnect_frequency: float = config.IO_INTERCONNECT_HIGH_FREQUENCY
+
+    def __post_init__(self) -> None:
+        if self.reference_dram_frequency <= 0 or self.reference_interconnect_frequency <= 0:
+            raise ValueError("reference frequencies must be positive")
+
+    def latency(
+        self,
+        state: SoCState,
+        demand_bandwidth: float,
+        mrc: Optional[MrcRegisterFile] = None,
+    ) -> float:
+        """Average loaded memory latency (seconds) under ``state``."""
+        return self.controller.loaded_latency(
+            demand_bandwidth=demand_bandwidth,
+            dram_frequency=state.dram_frequency,
+            interconnect_frequency=state.interconnect_frequency,
+            mrc=mrc,
+        )
+
+    def reference_latency(self, demand_bandwidth: float) -> float:
+        """Average loaded latency (seconds) at the reference (high) configuration.
+
+        The reference latency always assumes optimized MRC values, because the
+        baseline system boots with MRC trained for its single (highest) frequency.
+        """
+        return self.controller.loaded_latency(
+            demand_bandwidth=demand_bandwidth,
+            dram_frequency=self.reference_dram_frequency,
+            interconnect_frequency=self.reference_interconnect_frequency,
+            mrc=None,
+        )
+
+    def latency_ratio(
+        self,
+        state: SoCState,
+        demand_bandwidth: float,
+        mrc: Optional[MrcRegisterFile] = None,
+    ) -> float:
+        """Latency under ``state`` divided by the reference latency (>= ~1)."""
+        reference = self.reference_latency(demand_bandwidth)
+        if reference <= 0:
+            raise ValueError("reference latency must be positive")
+        return self.latency(state, demand_bandwidth, mrc) / reference
+
+    def available_bandwidth(
+        self, state: SoCState, mrc: Optional[MrcRegisterFile] = None
+    ) -> float:
+        """Achievable memory bandwidth (bytes/s) under ``state``."""
+        return self.controller.achievable_bandwidth(state.dram_frequency, mrc)
+
+    def reference_bandwidth(self) -> float:
+        """Achievable memory bandwidth (bytes/s) at the reference configuration."""
+        return self.controller.achievable_bandwidth(self.reference_dram_frequency, None)

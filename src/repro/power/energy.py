@@ -1,0 +1,85 @@
+"""Energy, average power, and energy-delay-product metrics.
+
+The paper uses three evaluation metrics (Sec. 6): benchmark score / frames-per-
+second for performance, average power for battery-life workloads, and the energy-
+delay product (EDP, [23]) as the combined energy-efficiency metric -- "the lower
+the EDP the better the energy efficiency" (footnote 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def energy_delay_product(energy_joules: float, delay_seconds: float) -> float:
+    """Energy-delay product (J*s).  Lower is better (footnote 2)."""
+    if energy_joules < 0 or delay_seconds < 0:
+        raise ValueError("energy and delay must be non-negative")
+    return energy_joules * delay_seconds
+
+
+@dataclass(frozen=True)
+class EnergyMetrics:
+    """Summary metrics of one simulation run."""
+
+    energy_joules: float
+    execution_time_seconds: float
+
+    def __post_init__(self) -> None:
+        if self.energy_joules < 0:
+            raise ValueError("energy must be non-negative")
+        if self.execution_time_seconds <= 0:
+            raise ValueError("execution time must be positive")
+
+    @property
+    def average_power(self) -> float:
+        """Average power in watts."""
+        return self.energy_joules / self.execution_time_seconds
+
+    @property
+    def edp(self) -> float:
+        """Energy-delay product in joule-seconds."""
+        return energy_delay_product(self.energy_joules, self.execution_time_seconds)
+
+    @property
+    def performance(self) -> float:
+        """Performance expressed as 1 / execution time (higher is better)."""
+        return 1.0 / self.execution_time_seconds
+
+    # ------------------------------------------------------------------
+    # Relative comparisons (policy vs. baseline)
+    # ------------------------------------------------------------------
+    def speedup_over(self, baseline: "EnergyMetrics") -> float:
+        """Performance ratio over ``baseline`` (>1 means faster)."""
+        return baseline.execution_time_seconds / self.execution_time_seconds
+
+    def performance_improvement_over(self, baseline: "EnergyMetrics") -> float:
+        """Fractional performance improvement over ``baseline`` (0.092 = +9.2 %)."""
+        return self.speedup_over(baseline) - 1.0
+
+    def power_reduction_vs(self, baseline: "EnergyMetrics") -> float:
+        """Fractional average-power reduction vs. ``baseline`` (0.107 = -10.7 %)."""
+        if baseline.average_power <= 0:
+            raise ValueError("baseline average power must be positive")
+        return 1.0 - self.average_power / baseline.average_power
+
+    def energy_reduction_vs(self, baseline: "EnergyMetrics") -> float:
+        """Fractional energy reduction vs. ``baseline``."""
+        if baseline.energy_joules <= 0:
+            raise ValueError("baseline energy must be positive")
+        return 1.0 - self.energy_joules / baseline.energy_joules
+
+    def edp_improvement_over(self, baseline: "EnergyMetrics") -> float:
+        """Fractional EDP improvement over ``baseline`` (positive = better)."""
+        if self.edp <= 0:
+            raise ValueError("EDP must be positive")
+        return 1.0 - self.edp / baseline.edp
+
+    def as_dict(self) -> dict:
+        """Flat dictionary view."""
+        return {
+            "energy_j": self.energy_joules,
+            "time_s": self.execution_time_seconds,
+            "average_power_w": self.average_power,
+            "edp_js": self.edp,
+        }

@@ -1,0 +1,243 @@
+"""Compute-domain and whole-SoC power models.
+
+The compute domain (CPU cores, graphics engines, LLC/ring) is modelled with the
+classic decomposition of dynamic power ``C_eff * V^2 * f * activity`` plus leakage
+``k * V^2`` per component (Sec. 2.4).  The whole-SoC model stitches the compute
+model and the memory/IO model (``repro.memory.power``) together and adds the fixed
+platform power, returning per-domain breakdowns that the experiments and the power
+budget manager consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Optional
+
+from repro import config
+from repro.memory.mrc import MrcRegisterFile
+from repro.memory.power import MemoryPowerBreakdown, MemoryPowerModel
+from repro.soc.components import CpuCluster, GraphicsEngine, Uncore
+from repro.soc.domains import SoCState
+from repro.soc.vf_curves import VFCurve
+
+
+@dataclass(frozen=True)
+class ActivityVector:
+    """Instantaneous utilization of the SoC blocks, all in [0, 1] except bandwidth.
+
+    Parameters
+    ----------
+    cpu_activity:
+        Switching activity of the active CPU cores (1.0 = fully busy).
+    gfx_activity:
+        Switching activity of the graphics engine.
+    io_activity:
+        Activity of the IO engines (display refresh, ISP streaming, ...).
+    memory_bandwidth:
+        Main-memory traffic in bytes/second (cores + graphics + IO agents).
+    active_cores:
+        Number of CPU cores that are not clock-gated.
+    """
+
+    cpu_activity: float = 1.0
+    gfx_activity: float = 0.0
+    io_activity: float = 0.3
+    memory_bandwidth: float = 0.0
+    active_cores: int = config.SKYLAKE_CORE_COUNT
+
+    def __post_init__(self) -> None:
+        for name in ("cpu_activity", "gfx_activity", "io_activity"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if self.memory_bandwidth < 0:
+            raise ValueError("memory bandwidth must be non-negative")
+        if self.active_cores < 0:
+            raise ValueError("active core count must be non-negative")
+
+    @classmethod
+    def idle(cls) -> "ActivityVector":
+        """An all-idle activity vector (used for package C-state modelling)."""
+        return cls(cpu_activity=0.0, gfx_activity=0.0, io_activity=0.0,
+                   memory_bandwidth=0.0, active_cores=0)
+
+
+@dataclass(frozen=True)
+class ComputePowerBreakdown:
+    """Per-component power of the compute domain, in watts."""
+
+    cpu_cores: float
+    graphics: float
+    uncore: float
+
+    def __post_init__(self) -> None:
+        for component_field in fields(self):
+            if getattr(self, component_field.name) < 0:
+                raise ValueError(f"{component_field.name} must be non-negative")
+
+    @property
+    def total(self) -> float:
+        """Total compute-domain power in watts."""
+        return self.cpu_cores + self.graphics + self.uncore
+
+    def as_dict(self) -> dict:
+        """Flat dictionary view including the total."""
+        return {
+            "cpu_cores": self.cpu_cores,
+            "graphics": self.graphics,
+            "uncore": self.uncore,
+            "total": self.total,
+        }
+
+
+@dataclass
+class ComputePowerModel:
+    """Power model of the compute domain (CPU cores, graphics engine, uncore)."""
+
+    cpu: CpuCluster
+    gfx: GraphicsEngine
+    uncore: Uncore
+    cpu_curve: VFCurve
+    gfx_curve: VFCurve
+    uncore_frequency: float = config.ghz(1.0)
+    uncore_voltage: float = 0.75
+
+    def __post_init__(self) -> None:
+        if self.uncore_frequency <= 0 or self.uncore_voltage <= 0:
+            raise ValueError("uncore frequency and voltage must be positive")
+
+    def cpu_power(
+        self,
+        frequency: float,
+        activity: float = 1.0,
+        active_cores: Optional[int] = None,
+        voltage: Optional[float] = None,
+    ) -> float:
+        """Power of the CPU cluster at ``frequency`` (voltage from the V/F curve)."""
+        if voltage is None:
+            voltage = self.cpu_curve.voltage_at(frequency)
+        return self.cpu.cluster_power(voltage, frequency, active_cores, activity)
+
+    def gfx_power(
+        self,
+        frequency: float,
+        activity: float = 1.0,
+        voltage: Optional[float] = None,
+    ) -> float:
+        """Power of the graphics engine at ``frequency``."""
+        if voltage is None:
+            voltage = self.gfx_curve.voltage_at(frequency)
+        return self.gfx.total_power(voltage, frequency, activity)
+
+    def uncore_power(self, activity: float = 0.5) -> float:
+        """Power of the LLC + ring fabric (roughly constant clock on Skylake-Y)."""
+        return self.uncore.total_power(self.uncore_voltage, self.uncore_frequency, activity)
+
+    def breakdown(self, state: SoCState, activity: ActivityVector) -> ComputePowerBreakdown:
+        """Per-component compute power for a given SoC state and activity vector."""
+        if activity.active_cores == 0 and activity.cpu_activity == 0.0:
+            cpu_power = self.cpu.core_count * self.cpu.leakage_power(
+                self.cpu_curve.vmin
+            )
+        else:
+            cpu_power = self.cpu_power(
+                state.cpu_frequency,
+                activity=activity.cpu_activity,
+                active_cores=min(activity.active_cores, self.cpu.core_count),
+            )
+        gfx_power = self.gfx_power(state.gfx_frequency, activity=activity.gfx_activity)
+        uncore_activity = max(
+            activity.cpu_activity * 0.6,
+            activity.gfx_activity * 0.5,
+            min(1.0, activity.memory_bandwidth / config.LPDDR3_PEAK_BANDWIDTH),
+        )
+        return ComputePowerBreakdown(
+            cpu_cores=cpu_power,
+            graphics=gfx_power,
+            uncore=self.uncore_power(uncore_activity),
+        )
+
+    def total(self, state: SoCState, activity: ActivityVector) -> float:
+        """Total compute-domain power in watts."""
+        return self.breakdown(state, activity).total
+
+
+@dataclass(frozen=True)
+class SoCPowerBreakdown:
+    """Whole-package power split into the three domains plus fixed platform power."""
+
+    compute: ComputePowerBreakdown
+    memory_io: MemoryPowerBreakdown
+    platform_fixed: float
+
+    @property
+    def compute_domain(self) -> float:
+        """Compute-domain power (watts)."""
+        return self.compute.total
+
+    @property
+    def io_domain(self) -> float:
+        """IO-domain power (watts)."""
+        return self.memory_io.io_domain
+
+    @property
+    def memory_domain(self) -> float:
+        """Memory-domain power (watts)."""
+        return self.memory_io.memory_domain
+
+    @property
+    def total(self) -> float:
+        """Total package power (watts)."""
+        return self.compute.total + self.memory_io.total + self.platform_fixed
+
+    def as_dict(self) -> dict:
+        """Flat dictionary view for result tables."""
+        return {
+            "compute_domain": self.compute_domain,
+            "io_domain": self.io_domain,
+            "memory_domain": self.memory_domain,
+            "platform_fixed": self.platform_fixed,
+            "total": self.total,
+        }
+
+
+@dataclass
+class SoCPowerModel:
+    """Whole-SoC power model: compute + memory/IO + fixed platform power."""
+
+    compute: ComputePowerModel
+    memory: MemoryPowerModel
+    platform_fixed_power: float = config.PLATFORM_FIXED_POWER
+    mrc: Optional[MrcRegisterFile] = None
+
+    def __post_init__(self) -> None:
+        if self.platform_fixed_power < 0:
+            raise ValueError("platform fixed power must be non-negative")
+
+    def breakdown(self, state: SoCState, activity: ActivityVector) -> SoCPowerBreakdown:
+        """Per-domain power breakdown for a given SoC state and activity vector."""
+        compute = self.compute.breakdown(state, activity)
+        memory_io = self.memory.breakdown(
+            dram_frequency=state.dram_frequency,
+            interconnect_frequency=state.interconnect_frequency,
+            v_sa_scale=state.v_sa_scale,
+            v_io_scale=state.v_io_scale,
+            bandwidth=activity.memory_bandwidth,
+            io_activity=activity.io_activity,
+            in_self_refresh=state.dram_in_self_refresh,
+            mrc=self.mrc,
+        )
+        return SoCPowerBreakdown(
+            compute=compute,
+            memory_io=memory_io,
+            platform_fixed=self.platform_fixed_power,
+        )
+
+    def total(self, state: SoCState, activity: ActivityVector) -> float:
+        """Total package power (watts)."""
+        return self.breakdown(state, activity).total
+
+    def io_memory_power(self, state: SoCState, activity: ActivityVector) -> float:
+        """Combined IO + memory domain power (watts) -- the pool SysScale can shrink."""
+        breakdown = self.breakdown(state, activity)
+        return breakdown.io_domain + breakdown.memory_domain

@@ -1,0 +1,96 @@
+"""P-state tables for the compute domain and budget-to-frequency mapping.
+
+DVFS states of the CPU cores and graphics engines are known as P-states
+(Sec. 4.4).  The OS / graphics driver request them, and the compute-domain power
+budget manager (PBM) grants the highest state that fits the domain's power budget.
+This module builds Skylake-Y-like V/F curves and P-state tables for the cores and
+the graphics engine, and provides the "highest P-state within a power budget"
+search that converts a redistributed power budget into a frequency increase --
+the mechanism by which SysScale turns IO/memory power savings into compute
+performance (Sec. 4.3).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro import config
+from repro.soc.vf_curves import PState, PStateTable, VFCurve
+
+
+#: CPU core P-state frequencies for a Skylake-Y class part (Hz).  The 2.9 GHz top
+#: bin corresponds to the single-core turbo of the M-6Y75; the 0.4 GHz bottom bin
+#: is the lowest frequency exposed to the OS.
+DEFAULT_CPU_FREQUENCIES = tuple(
+    config.mhz(f) for f in (400, 600, 800, 1000, 1200, 1400, 1500, 1600, 1700, 1800,
+                            1900, 2000, 2100, 2200, 2300, 2400, 2500, 2600, 2700,
+                            2800, 2900)
+)
+
+#: Graphics engine P-state frequencies (Hz); 300 MHz base up to 1.0 GHz max turbo.
+DEFAULT_GFX_FREQUENCIES = tuple(
+    config.mhz(f) for f in (300, 350, 400, 450, 500, 550, 600, 650, 700, 750, 800,
+                            850, 900, 950, 1000)
+)
+
+
+def build_cpu_vf_curve() -> VFCurve:
+    """Minimum-voltage curve of the CPU cores.
+
+    The curve has a flat Vmin region at low frequencies (the most efficient
+    operating region, ``Pn``) and rises roughly linearly towards the turbo bins.
+    """
+    return VFCurve.from_points(
+        [
+            (config.mhz(400), 0.58),
+            (config.mhz(800), 0.58),
+            (config.ghz(1.2), 0.65),
+            (config.ghz(1.8), 0.76),
+            (config.ghz(2.4), 0.89),
+            (config.ghz(2.9), 1.02),
+        ]
+    )
+
+
+def build_gfx_vf_curve() -> VFCurve:
+    """Minimum-voltage curve of the graphics engine."""
+    return VFCurve.from_points(
+        [
+            (config.mhz(300), 0.56),
+            (config.mhz(450), 0.56),
+            (config.mhz(600), 0.64),
+            (config.mhz(800), 0.74),
+            (config.mhz(1000), 0.86),
+        ]
+    )
+
+
+def build_cpu_pstates(frequencies: Sequence[float] = DEFAULT_CPU_FREQUENCIES) -> PStateTable:
+    """P-state table of the CPU cores, sampled from the CPU V/F curve."""
+    return PStateTable.from_curve(build_cpu_vf_curve(), frequencies, prefix="P")
+
+
+def build_gfx_pstates(frequencies: Sequence[float] = DEFAULT_GFX_FREQUENCIES) -> PStateTable:
+    """P-state table of the graphics engine, sampled from the GFX V/F curve."""
+    return PStateTable.from_curve(build_gfx_vf_curve(), frequencies, prefix="GP")
+
+
+def max_pstate_within_budget(
+    table: PStateTable,
+    power_at_state: Callable[[PState], float],
+    budget: float,
+) -> PState:
+    """Return the highest-frequency P-state whose projected power fits ``budget``.
+
+    ``power_at_state`` maps a P-state to the projected power of the component (and
+    anything that must scale with it) at that state.  If even the lowest state
+    exceeds the budget, the lowest state is returned -- the PBM cannot turn the
+    cores off, it "places the requestor in a safe lower frequency" (Sec. 4.4).
+    """
+    if budget < 0:
+        raise ValueError("power budget must be non-negative")
+    best = table.min_state
+    for state in table:
+        if power_at_state(state) <= budget + 1e-12:
+            best = state
+    return best

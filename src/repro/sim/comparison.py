@@ -1,0 +1,98 @@
+"""Baseline-vs-policy comparison helpers.
+
+The experiment harness repeatedly needs the same shape of comparison: run one or
+more workloads under a baseline policy and under one or more candidate policies on
+the same platform, then report per-workload and average improvements.  This module
+provides that plumbing so the per-figure experiment modules stay small.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.sim.engine import SimulationConfig, SimulationEngine
+from repro.sim.platform import Platform
+from repro.sim.policy import Policy
+from repro.sim.result import SimulationResult
+from repro.workloads.io_devices import PeripheralConfiguration
+from repro.workloads.trace import WorkloadTrace
+
+
+@dataclass
+class PolicyComparison:
+    """Per-workload results of one baseline and several candidate policies."""
+
+    workload: str
+    baseline: SimulationResult
+    candidates: Dict[str, SimulationResult] = field(default_factory=dict)
+
+    def performance_improvement(self, policy: str) -> float:
+        """Fractional performance improvement of ``policy`` over the baseline."""
+        return self.candidates[policy].performance_improvement_over(self.baseline)
+
+    def power_reduction(self, policy: str) -> float:
+        """Fractional average-power reduction of ``policy`` vs. the baseline."""
+        return self.candidates[policy].power_reduction_vs(self.baseline)
+
+    def energy_reduction(self, policy: str) -> float:
+        """Fractional energy reduction of ``policy`` vs. the baseline."""
+        return self.candidates[policy].energy_reduction_vs(self.baseline)
+
+    def edp_improvement(self, policy: str) -> float:
+        """Fractional EDP improvement of ``policy`` over the baseline."""
+        return self.candidates[policy].edp_improvement_over(self.baseline)
+
+    def as_dict(self) -> dict:
+        """Flat summary for result tables."""
+        row = {"workload": self.workload, "baseline_power_w": self.baseline.average_power}
+        for name, result in self.candidates.items():
+            row[f"{name}_perf_improvement"] = self.performance_improvement(name)
+            row[f"{name}_power_reduction"] = self.power_reduction(name)
+        return row
+
+
+def compare_policies(
+    platform: Platform,
+    workloads: Sequence[WorkloadTrace],
+    baseline_policy: Callable[[], Policy],
+    candidate_policies: Dict[str, Callable[[], Policy]],
+    peripherals: Optional[PeripheralConfiguration] = None,
+    sim_config: Optional[SimulationConfig] = None,
+) -> List[PolicyComparison]:
+    """Run every workload under the baseline and every candidate policy.
+
+    Policies are passed as zero-argument factories so each run gets a fresh policy
+    instance (policies may carry per-run state such as the current operating
+    point).
+    """
+    engine = SimulationEngine(platform, sim_config)
+    comparisons: List[PolicyComparison] = []
+    for trace in workloads:
+        baseline_result = engine.run(trace, baseline_policy(), peripherals)
+        comparison = PolicyComparison(workload=trace.name, baseline=baseline_result)
+        for name, factory in candidate_policies.items():
+            comparison.candidates[name] = engine.run(trace, factory(), peripherals)
+        comparisons.append(comparison)
+    return comparisons
+
+
+def average_improvement(
+    comparisons: Iterable[PolicyComparison], policy: str, metric: str = "performance"
+) -> float:
+    """Average improvement of ``policy`` across a set of comparisons.
+
+    ``metric`` is ``"performance"``, ``"power"``, ``"energy"``, or ``"edp"``.
+    """
+    selectors = {
+        "performance": PolicyComparison.performance_improvement,
+        "power": PolicyComparison.power_reduction,
+        "energy": PolicyComparison.energy_reduction,
+        "edp": PolicyComparison.edp_improvement,
+    }
+    if metric not in selectors:
+        raise ValueError(f"unknown metric {metric!r}; choose from {sorted(selectors)}")
+    values = [selectors[metric](comparison, policy) for comparison in comparisons]
+    if not values:
+        raise ValueError("no comparisons given")
+    return sum(values) / len(values)

@@ -1,0 +1,359 @@
+"""Trace-driven simulation engine.
+
+The engine advances a workload trace in fixed ticks (1 ms, the PMU's counter
+sampling interval), computing for every tick:
+
+* the SoC state implied by the current policy action (IO/memory operating point)
+  and by the compute-domain plan the PBM derives from the resulting budget;
+* the phase slowdown and achieved memory bandwidth under that state;
+* the per-domain power, split by package C-state residency for battery-life
+  workloads (Sec. 7.3);
+* the synthesised performance-counter sample.
+
+Every evaluation interval (30 ms, Sec. 4.3) the averaged counters and the static
+peripheral configuration are handed to the policy; if the policy changes the
+operating point the engine charges the transition latency (Sec. 5) and reloads the
+MRC registers when the policy asks for optimized values (Fig. 5, step 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro import config
+from repro.perf.counters import CounterSample
+from repro.power.budget import ComputePlan
+from repro.power.cstates import CState, IDLE_PACKAGE_POWER
+from repro.power.models import ActivityVector
+from repro.sim.platform import Platform, activity_for_phase
+from repro.sim.policy import Policy, PolicyAction, PolicyObservation, StaticDemandInfo
+from repro.sim.result import DomainEnergyBreakdown, SimulationResult
+from repro.soc.domains import SoCState
+from repro.workloads.io_devices import PeripheralConfiguration
+from repro.workloads.trace import Phase, WorkloadClass, WorkloadTrace
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Engine parameters."""
+
+    tick: float = config.COUNTER_SAMPLING_INTERVAL
+    evaluation_interval: float = config.EVALUATION_INTERVAL
+    max_simulated_time: float = 120.0
+    record_bandwidth_samples: bool = False
+
+    def __post_init__(self) -> None:
+        if self.tick <= 0:
+            raise ValueError("tick must be positive")
+        if self.evaluation_interval < self.tick:
+            raise ValueError("evaluation interval must be at least one tick")
+        if self.max_simulated_time <= 0:
+            raise ValueError("maximum simulated time must be positive")
+
+
+@dataclass
+class _RunState:
+    """Mutable bookkeeping for one run (internal)."""
+
+    time: float = 0.0
+    phase_index: int = 0
+    work_done_in_phase: float = 0.0
+    energy: DomainEnergyBreakdown = field(default_factory=DomainEnergyBreakdown)
+    transitions: int = 0
+    transition_time: float = 0.0
+    low_point_time: float = 0.0
+    evaluation_count: int = 0
+    cpu_frequency_time: float = 0.0
+    gfx_frequency_time: float = 0.0
+    dram_frequency_time: float = 0.0
+    interval_samples: List[CounterSample] = field(default_factory=list)
+    bandwidth_samples: List[float] = field(default_factory=list)
+
+
+class SimulationEngine:
+    """Runs workload traces under DVFS policies on a modelled platform."""
+
+    def __init__(self, platform: Platform, sim_config: Optional[SimulationConfig] = None):
+        self.platform = platform
+        self.config = sim_config or SimulationConfig()
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        trace: WorkloadTrace,
+        policy: Policy,
+        peripherals: Optional[PeripheralConfiguration] = None,
+    ) -> SimulationResult:
+        """Simulate ``trace`` under ``policy`` and return the result."""
+        if peripherals is None:
+            peripherals = PeripheralConfiguration()
+        static_demand = StaticDemandInfo(peripherals=peripherals)
+
+        # Each run starts from the boot state: MRC registers trained for the
+        # default (highest) DRAM frequency.  Without this, register contents
+        # loaded by a previous run would leak into this one.
+        boot_frequency = self.platform.dram.max_frequency
+        if self.platform.mrc_sram.has_frequency(boot_frequency):
+            self.platform.mrc_registers.load(self.platform.mrc_sram.load(boot_frequency))
+
+        action = policy.reset(self.platform, trace)
+        self._apply_mrc(action)
+        run = _RunState()
+        last_evaluation_time = 0.0
+
+        high_dram_frequency = self.platform.dram.max_frequency
+        phases = trace.phases
+        tick = self.config.tick
+
+        while run.phase_index < len(phases) and run.time < self.config.max_simulated_time:
+            phase = phases[run.phase_index]
+            state, plan = self._build_state(trace, phase, action)
+            mrc = self._effective_mrc(action)
+
+            slowdown = self.platform.performance_model.slowdown(phase, state, mrc)
+            activity = activity_for_phase(phase, slowdown.achieved_bandwidth)
+
+            # --- energy ---------------------------------------------------
+            self._accumulate_energy(run, trace, phase, state, activity, tick)
+
+            # --- counters --------------------------------------------------
+            run.interval_samples.append(
+                self.platform.counter_unit.sample(phase, state, mrc)
+            )
+            if self.config.record_bandwidth_samples:
+                run.bandwidth_samples.append(slowdown.achieved_bandwidth)
+
+            # --- statistics -------------------------------------------------
+            run.cpu_frequency_time += state.cpu_frequency * tick
+            run.gfx_frequency_time += state.gfx_frequency * tick
+            run.dram_frequency_time += state.dram_frequency * tick
+            if state.dram_frequency < high_dram_frequency - 1e3:
+                run.low_point_time += tick
+
+            # --- progress ---------------------------------------------------
+            run.time += tick
+            if trace.workload_class is WorkloadClass.BATTERY_LIFE:
+                # Fixed performance demand: the trace advances in wall-clock time.
+                run.work_done_in_phase += tick
+            else:
+                run.work_done_in_phase += tick / slowdown.total
+            if run.work_done_in_phase >= phase.duration - 1e-12:
+                run.phase_index += 1
+                run.work_done_in_phase = 0.0
+
+            # --- policy evaluation ------------------------------------------
+            if run.time - last_evaluation_time >= self.config.evaluation_interval - 1e-12:
+                last_evaluation_time = run.time
+                run.evaluation_count += 1
+                observation = PolicyObservation(
+                    counters=CounterSample.average(run.interval_samples),
+                    static_demand=static_demand,
+                    time=run.time,
+                    workload_class=trace.workload_class.value,
+                    evaluation_interval=self.config.evaluation_interval,
+                )
+                run.interval_samples = []
+                new_action = policy.decide(observation)
+                if not new_action.same_operating_point(action):
+                    self._charge_transition(run, new_action, state, activity)
+                    policy.notify_transition(action, new_action)
+                    self._apply_mrc(new_action)
+                action = new_action
+
+        return self._build_result(trace, policy, run)
+
+    # ------------------------------------------------------------------
+    # State construction
+    # ------------------------------------------------------------------
+    def _build_state(
+        self, trace: WorkloadTrace, phase: Phase, action: PolicyAction
+    ):
+        """SoC state for the current tick: IO/memory from the action, compute from the PBM."""
+        budgets = self.platform.pbm.budgets(action.io_memory_budget)
+        activity_hint = ActivityVector(
+            cpu_activity=phase.cpu_activity,
+            gfx_activity=phase.gfx_activity,
+            io_activity=phase.io_activity,
+            memory_bandwidth=phase.memory_bandwidth_demand,
+            active_cores=phase.active_cores,
+        )
+        plan: ComputePlan = self.platform.pbm.plan(
+            budgets.compute,
+            activity_hint,
+            graphics_centric=trace.is_graphics_centric,
+            fixed_performance=trace.has_fixed_performance_demand,
+        )
+        state = SoCState(
+            cpu_frequency=plan.cpu_state.frequency,
+            gfx_frequency=plan.gfx_state.frequency,
+            dram_frequency=action.dram_frequency,
+            interconnect_frequency=action.interconnect_frequency,
+            v_sa_scale=action.v_sa_scale,
+            v_io_scale=action.v_io_scale,
+            v_core=plan.cpu_state.voltage,
+            v_gfx=plan.gfx_state.voltage,
+            mrc_optimized=action.mrc_optimized
+            or self.platform.mrc_registers.is_optimized_for(action.dram_frequency),
+            dram_in_self_refresh=False,
+            active_cores=phase.active_cores,
+        )
+        return state, plan
+
+    def _effective_mrc(self, action: PolicyAction):
+        """The MRC register file to hand to the performance/power models.
+
+        The register file is a live platform object; whether its contents match
+        the current DRAM frequency determines the Fig. 4 penalties.
+        """
+        return self.platform.mrc_registers
+
+    def _apply_mrc(self, action: PolicyAction) -> None:
+        """Load the optimized register set for the action's DRAM frequency if requested."""
+        if action.mrc_optimized and self.platform.mrc_sram.has_frequency(action.dram_frequency):
+            self.platform.mrc_registers.load(
+                self.platform.mrc_sram.load(action.dram_frequency)
+            )
+
+    # ------------------------------------------------------------------
+    # Energy accounting
+    # ------------------------------------------------------------------
+    def _accumulate_energy(
+        self,
+        run: _RunState,
+        trace: WorkloadTrace,
+        phase: Phase,
+        state: SoCState,
+        activity: ActivityVector,
+        tick: float,
+    ) -> None:
+        if trace.workload_class is WorkloadClass.BATTERY_LIFE:
+            self._accumulate_battery_life_energy(run, phase, state, activity, tick)
+            return
+        breakdown = self.platform.soc_power.breakdown(state, activity)
+        run.energy.add(
+            compute=breakdown.compute_domain * tick,
+            io=breakdown.io_domain * tick,
+            memory=breakdown.memory_domain * tick,
+            platform_fixed=breakdown.platform_fixed * tick,
+        )
+
+    def _accumulate_battery_life_energy(
+        self,
+        run: _RunState,
+        phase: Phase,
+        state: SoCState,
+        activity: ActivityVector,
+        tick: float,
+    ) -> None:
+        """Residency-weighted energy for battery-life workloads (Sec. 7.3).
+
+        The phase's C-state residency profile is re-scaled when the active work
+        runs slower than at the reference configuration (fixed performance demand
+        means slower hardware must stay active longer).
+        """
+        slowdown = self.platform.performance_model.slowdown(
+            phase, state, self.platform.mrc_registers
+        )
+        residency = phase.residency
+        if slowdown.total > 1.0 and residency.active_fraction < 1.0:
+            new_active = min(1.0, residency.active_fraction * slowdown.total)
+            residency = residency.scaled_active(new_active)
+
+        # C0: fully active.
+        c0 = residency.fraction(CState.C0)
+        active_breakdown = self.platform.soc_power.breakdown(state, activity)
+
+        # C2: compute idle, DRAM active, only IO agents (display/ISP) generate traffic.
+        c2 = residency.fraction(CState.C2)
+        c2_memory_io = self.platform.memory_power.breakdown(
+            dram_frequency=state.dram_frequency,
+            interconnect_frequency=state.interconnect_frequency,
+            v_sa_scale=state.v_sa_scale,
+            v_io_scale=state.v_io_scale,
+            bandwidth=phase.io_bandwidth_demand,
+            io_activity=phase.io_activity,
+            in_self_refresh=False,
+            mrc=self.platform.mrc_registers,
+        )
+
+        # Deep idle states (C6/C7/C8): the system agent and DDRIO are power gated,
+        # DRAM sits in self-refresh on VDDQ.  Only the self-refresh current and a
+        # small always-on residual remain, independent of the selected operating
+        # point -- SysScale only matters while DRAM is active (Sec. 7.3).
+        deep_states = [
+            (cstate, residency.fraction(cstate))
+            for cstate in (CState.C6, CState.C7, CState.C8)
+            if residency.fraction(cstate) > 0
+        ]
+        deep_fraction = sum(fraction for _, fraction in deep_states)
+        deep_memory_power = self.platform.memory_power.self_refresh_power + 0.01
+        deep_io_power = 0.01
+
+        compute_energy = c0 * active_breakdown.compute_domain * tick
+        compute_energy += c2 * IDLE_PACKAGE_POWER[CState.C2] * tick
+        for cstate, fraction in deep_states:
+            compute_energy += fraction * IDLE_PACKAGE_POWER[cstate] * tick
+
+        io_energy = (
+            c0 * active_breakdown.io_domain
+            + c2 * c2_memory_io.io_domain
+            + deep_fraction * deep_io_power
+        ) * tick
+        memory_energy = (
+            c0 * active_breakdown.memory_domain
+            + c2 * c2_memory_io.memory_domain
+            + deep_fraction * deep_memory_power
+        ) * tick
+        platform_energy = active_breakdown.platform_fixed * tick
+
+        run.energy.add(
+            compute=compute_energy,
+            io=io_energy,
+            memory=memory_energy,
+            platform_fixed=platform_energy,
+        )
+
+    # ------------------------------------------------------------------
+    # Transitions and results
+    # ------------------------------------------------------------------
+    def _charge_transition(
+        self,
+        run: _RunState,
+        new_action: PolicyAction,
+        state: SoCState,
+        activity: ActivityVector,
+    ) -> None:
+        """Charge the latency and energy of one operating-point transition."""
+        latency = new_action.transition_latency
+        run.transitions += 1
+        run.transition_time += latency
+        run.time += latency
+        power = self.platform.soc_power.breakdown(state, activity)
+        run.energy.add(
+            compute=power.compute_domain * latency,
+            io=power.io_domain * latency,
+            memory=power.memory_domain * latency,
+            platform_fixed=power.platform_fixed * latency,
+        )
+
+    def _build_result(
+        self, trace: WorkloadTrace, policy: Policy, run: _RunState
+    ) -> SimulationResult:
+        time = max(run.time, self.config.tick)
+        return SimulationResult(
+            workload=trace.name,
+            policy=policy.name,
+            execution_time=time,
+            energy=run.energy,
+            transitions=run.transitions,
+            transition_time=run.transition_time,
+            low_point_time=run.low_point_time,
+            evaluation_count=run.evaluation_count,
+            average_cpu_frequency=run.cpu_frequency_time / time,
+            average_gfx_frequency=run.gfx_frequency_time / time,
+            average_dram_frequency=run.dram_frequency_time / time,
+            achieved_bandwidth_samples=run.bandwidth_samples,
+        )

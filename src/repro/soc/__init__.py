@@ -1,0 +1,49 @@
+"""SoC substrate: domains, components, voltage regulators, and V/F curves.
+
+This package models the structure of a Skylake-class mobile SoC as described in
+Sec. 2.1 and Fig. 1 of the paper: a compute domain (CPU cores, graphics engines),
+an IO domain (display controller, ISP engine, IO interconnect), and a memory
+domain (memory controller, DDRIO, DRAM), together with the voltage rails that
+couple them (V_SA, V_IO, VDDQ and the compute rails).
+"""
+
+from repro.soc.vf_curves import VFCurve, PState, PStateTable
+from repro.soc.vr import VoltageRegulator, RailName
+from repro.soc.components import (
+    Component,
+    CpuCluster,
+    GraphicsEngine,
+    Uncore,
+    DisplayEngine,
+    IspEngine,
+    IoInterconnect,
+    MemoryControllerComponent,
+    DdrioInterface,
+)
+from repro.soc.domains import Domain, DomainKind, SoCState
+from repro.soc.skylake import SkylakeSoC, build_skylake_soc
+from repro.soc.broadwell import BroadwellSoC, build_broadwell_soc
+
+__all__ = [
+    "VFCurve",
+    "PState",
+    "PStateTable",
+    "VoltageRegulator",
+    "RailName",
+    "Component",
+    "CpuCluster",
+    "GraphicsEngine",
+    "Uncore",
+    "DisplayEngine",
+    "IspEngine",
+    "IoInterconnect",
+    "MemoryControllerComponent",
+    "DdrioInterface",
+    "Domain",
+    "DomainKind",
+    "SoCState",
+    "SkylakeSoC",
+    "build_skylake_soc",
+    "BroadwellSoC",
+    "build_broadwell_soc",
+]

@@ -1,0 +1,44 @@
+"""Broadwell M-5Y71 SoC description (the motivation platform of Sec. 3).
+
+The paper collects its motivational data (Fig. 2-4, Table 1) on the previous-
+generation Broadwell part, on which a crude static version of SysScale's behaviour
+-- the MD-DVFS setup of Table 1 -- is emulated through BIOS settings and the ITP
+debugger.  The Broadwell description is structurally identical to Skylake at the
+level of detail of this model; it differs in name, process characterisation, and
+slightly higher uncore power (being one process generation older).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro import config
+from repro.memory.dram import DramDevice, lpddr3_device
+from repro.soc.skylake import SkylakeSoC, build_skylake_soc
+
+
+@dataclass
+class BroadwellSoC(SkylakeSoC):
+    """The Intel Core M-5Y71 (Broadwell) motivation platform."""
+
+    name: str = "Intel Core M-5Y71 (Broadwell)"
+    process_node_nm: int = 14
+
+
+def build_broadwell_soc(
+    tdp: float = config.SKYLAKE_DEFAULT_TDP,
+    dram: Optional[DramDevice] = None,
+) -> BroadwellSoC:
+    """Construct the Broadwell M-5Y71 platform used for the Sec. 3 motivation data.
+
+    The returned object carries a ~8 % higher uncore leakage coefficient than the
+    Skylake description, reflecting the less mature 14 nm process of the earlier
+    part; everything else matches Table 2 (both parts use LPDDR3-1600 and the same
+    TDP class).
+    """
+    base = build_skylake_soc(tdp=tdp, dram=dram if dram is not None else lpddr3_device())
+    soc = BroadwellSoC(tdp=base.tdp)
+    soc.dram = base.dram
+    soc.uncore.leakage_coeff = base.uncore.leakage_coeff * 1.08
+    return soc

@@ -1,0 +1,233 @@
+"""Voltage regulators and the shared-rail structure of the SoC.
+
+Fig. 1 of the paper highlights the voltage regulators (VRs) that couple the IO and
+memory domains:
+
+* ``V_SA`` feeds the IO engines/controllers, the IO interconnect, and the memory
+  controller (the "system agent");
+* ``V_IO`` feeds the digital part of the DRAM interface (DDRIO-digital) and the
+  IO PHYs (display IO, ISP IO);
+* ``VDDQ`` feeds the DRAM devices and DDRIO-analog and cannot be scaled on
+  commercial DRAM (Sec. 2.4);
+* the compute domain has its own rails for the cores+LLC and the graphics engines.
+
+The regulator model tracks the rail voltage and exposes the transition-time
+calculation the flow-latency model of Sec. 5 uses (slew rate of 50 mV/us).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro import config
+
+
+class RailName(str, enum.Enum):
+    """Canonical names of the SoC voltage rails (Fig. 1)."""
+
+    V_SA = "V_SA"
+    V_IO = "V_IO"
+    VDDQ = "VDDQ"
+    V_CORE = "V_CORE"
+    V_GFX = "V_GFX"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class VoltageRegulatorError(ValueError):
+    """Raised for invalid voltage-regulator operations."""
+
+
+@dataclass
+class VoltageRegulator:
+    """A single voltage regulator with a nominal voltage and a slew-rate model.
+
+    Parameters
+    ----------
+    rail:
+        Which rail this regulator drives.
+    nominal_voltage:
+        The voltage at the high operating point (volts).
+    min_voltage:
+        The minimum functional voltage of the rail; requests below it raise.
+    slew_rate:
+        Voltage slew rate in volts/second (default 50 mV/us, Sec. 5).
+    scalable:
+        Whether DVFS may change this rail.  ``VDDQ`` is not scalable on
+        commercially available DRAM (Sec. 2.4).
+    """
+
+    rail: RailName
+    nominal_voltage: float
+    min_voltage: float
+    slew_rate: float = config.VR_SLEW_RATE
+    scalable: bool = True
+    current_voltage: float = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.nominal_voltage <= 0:
+            raise VoltageRegulatorError("nominal voltage must be positive")
+        if not 0 < self.min_voltage <= self.nominal_voltage:
+            raise VoltageRegulatorError(
+                "minimum voltage must be positive and not exceed the nominal voltage"
+            )
+        if self.slew_rate <= 0:
+            raise VoltageRegulatorError("slew rate must be positive")
+        self.current_voltage = self.nominal_voltage
+
+    @property
+    def scale(self) -> float:
+        """Current voltage as a fraction of nominal (1.0 at the high point)."""
+        return self.current_voltage / self.nominal_voltage
+
+    def transition_time(self, target_voltage: float) -> float:
+        """Seconds needed to slew from the current voltage to ``target_voltage``."""
+        self._validate_target(target_voltage)
+        return abs(target_voltage - self.current_voltage) / self.slew_rate
+
+    def set_voltage(self, target_voltage: float) -> float:
+        """Move the rail to ``target_voltage`` and return the slew time in seconds."""
+        self._validate_target(target_voltage)
+        duration = self.transition_time(target_voltage)
+        self.current_voltage = target_voltage
+        return duration
+
+    def set_scale(self, scale: float) -> float:
+        """Move the rail to ``scale`` x nominal voltage; returns the slew time."""
+        return self.set_voltage(self.nominal_voltage * scale)
+
+    def reset(self) -> None:
+        """Return the rail to its nominal (high operating point) voltage."""
+        self.current_voltage = self.nominal_voltage
+
+    def _validate_target(self, target_voltage: float) -> None:
+        if not self.scalable and abs(target_voltage - self.nominal_voltage) > 1e-12:
+            raise VoltageRegulatorError(
+                f"rail {self.rail} is not scalable (Sec. 2.4: VDDQ cannot be scaled "
+                "on commercial DRAM devices)"
+            )
+        if target_voltage < self.min_voltage - 1e-12:
+            raise VoltageRegulatorError(
+                f"target voltage {target_voltage:.3f} V is below the minimum "
+                f"functional voltage {self.min_voltage:.3f} V of rail {self.rail}"
+            )
+        if target_voltage > self.nominal_voltage * 1.2:
+            raise VoltageRegulatorError(
+                f"target voltage {target_voltage:.3f} V exceeds the safe range of "
+                f"rail {self.rail}"
+            )
+
+
+@dataclass
+class RailSet:
+    """The collection of voltage regulators present on the SoC package."""
+
+    regulators: Dict[RailName, VoltageRegulator] = field(default_factory=dict)
+
+    def add(self, regulator: VoltageRegulator) -> None:
+        """Register a regulator; a rail may only be registered once."""
+        if regulator.rail in self.regulators:
+            raise VoltageRegulatorError(f"rail {regulator.rail} already registered")
+        self.regulators[regulator.rail] = regulator
+
+    def __getitem__(self, rail: RailName) -> VoltageRegulator:
+        return self.regulators[rail]
+
+    def __contains__(self, rail: RailName) -> bool:
+        return rail in self.regulators
+
+    def rails(self) -> List[RailName]:
+        """All registered rails."""
+        return list(self.regulators)
+
+    def voltage(self, rail: RailName) -> float:
+        """Current voltage on ``rail``."""
+        return self.regulators[rail].current_voltage
+
+    def scale(self, rail: RailName) -> float:
+        """Current voltage scale (fraction of nominal) on ``rail``."""
+        return self.regulators[rail].scale
+
+    def reset(self) -> None:
+        """Return every rail to its nominal voltage."""
+        for regulator in self.regulators.values():
+            regulator.reset()
+
+    def max_transition_time(self, targets: Dict[RailName, float]) -> float:
+        """Slew time of the slowest rail when moving all ``targets`` in parallel.
+
+        SysScale performs the voltage transitions of V_SA and V_IO simultaneously
+        (Sec. 4: "performing DVFS simultaneously in all domains to overlap the DVFS
+        latencies"), so the flow pays only the slowest rail's slew time.
+        """
+        if not targets:
+            return 0.0
+        return max(
+            self.regulators[rail].transition_time(voltage)
+            for rail, voltage in targets.items()
+        )
+
+    def apply(self, targets: Dict[RailName, float]) -> float:
+        """Apply all target voltages in parallel; returns the overlapped slew time."""
+        duration = self.max_transition_time(targets)
+        for rail, voltage in targets.items():
+            self.regulators[rail].set_voltage(voltage)
+        return duration
+
+
+def build_default_rails(
+    v_sa_nominal: float = 0.55,
+    v_io_nominal: float = 0.70,
+    vddq_nominal: float = 1.2,
+    v_core_nominal: float = 1.0,
+    v_gfx_nominal: float = 1.0,
+) -> RailSet:
+    """Construct the five-rail structure of Fig. 1 with typical mobile voltages.
+
+    ``VDDQ`` is marked non-scalable per Sec. 2.4.  Minimum voltages reflect the
+    observation (Sec. 7.4) that V_SA reaches its minimum functional voltage at the
+    1.06 GHz DRAM operating point (i.e. at a 0.8x scale of nominal).  The nominal
+    V_SA / V_IO levels are chosen so that a SysScale transition swings each rail by
+    roughly 100 mV, the figure Sec. 5 uses for its 2 us slew-time budget.
+    """
+    rails = RailSet()
+    rails.add(
+        VoltageRegulator(
+            rail=RailName.V_SA,
+            nominal_voltage=v_sa_nominal,
+            min_voltage=v_sa_nominal * config.V_SA_LOW_SCALE,
+        )
+    )
+    rails.add(
+        VoltageRegulator(
+            rail=RailName.V_IO,
+            nominal_voltage=v_io_nominal,
+            min_voltage=v_io_nominal * config.V_IO_LOW_SCALE,
+        )
+    )
+    rails.add(
+        VoltageRegulator(
+            rail=RailName.VDDQ,
+            nominal_voltage=vddq_nominal,
+            min_voltage=vddq_nominal,
+            scalable=False,
+        )
+    )
+    rails.add(
+        VoltageRegulator(
+            rail=RailName.V_CORE,
+            nominal_voltage=v_core_nominal,
+            min_voltage=0.55,
+        )
+    )
+    rails.add(
+        VoltageRegulator(
+            rail=RailName.V_GFX,
+            nominal_voltage=v_gfx_nominal,
+            min_voltage=0.55,
+        )
+    )
+    return rails

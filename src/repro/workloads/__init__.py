@@ -1,0 +1,48 @@
+"""Workload substrate: phase traces for SPEC, graphics, battery-life, and IO devices.
+
+The paper evaluates SysScale with three workload classes (Sec. 6): SPEC CPU2006 for
+CPU performance, 3DMark for graphics, and a set of battery-life workloads (web
+browsing, light gaming, video conferencing, video playback).  Because the original
+binaries and the >1600-workload calibration corpus are not available, each workload
+is represented as a *phase trace*: a sequence of phases carrying the bottleneck
+structure, bandwidth demand, and activity factors that drive the performance and
+power models (see DESIGN.md for the substitution argument).
+"""
+
+from repro.workloads.trace import (
+    Phase,
+    WorkloadClass,
+    WorkloadTrace,
+    PerformanceMetric,
+)
+from repro.workloads.spec2006 import spec_cpu2006_suite, spec_workload
+from repro.workloads.graphics import graphics_suite, graphics_workload
+from repro.workloads.batterylife import battery_life_suite, battery_life_workload
+from repro.workloads.microbenchmarks import peak_bandwidth_microbenchmark
+from repro.workloads.io_devices import (
+    DisplayConfiguration,
+    CameraConfiguration,
+    PeripheralConfiguration,
+    DisplayResolution,
+)
+from repro.workloads.corpus import CorpusGenerator, CorpusWorkload
+
+__all__ = [
+    "Phase",
+    "WorkloadClass",
+    "WorkloadTrace",
+    "PerformanceMetric",
+    "spec_cpu2006_suite",
+    "spec_workload",
+    "graphics_suite",
+    "graphics_workload",
+    "battery_life_suite",
+    "battery_life_workload",
+    "peak_bandwidth_microbenchmark",
+    "DisplayConfiguration",
+    "CameraConfiguration",
+    "PeripheralConfiguration",
+    "DisplayResolution",
+    "CorpusGenerator",
+    "CorpusWorkload",
+]

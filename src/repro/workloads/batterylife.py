@@ -1,0 +1,242 @@
+"""Battery-life workload traces (web browsing, light gaming, video conferencing,
+video playback).
+
+These workloads (Sec. 7.3) differ from CPU and graphics benchmarks in two ways:
+their performance demand is *fixed* (e.g. 60 frames per second of video must be
+decoded and displayed no matter how fast the SoC is), and they spend most of their
+time in package idle states -- the paper measures 10-40 % active (C0) residency,
+with DRAM active only in C0 and C2.  The evaluation metric is therefore average
+power, not execution time.
+
+Each workload is modelled as a repeating activity cycle of two phases:
+
+* a **burst** phase (page load, camera-frame encode, game-scene update) whose
+  memory traffic and latency sensitivity are high enough that SysScale keeps the
+  high operating point to protect responsiveness and QoS;
+* a **steady** phase (idle scrolling, steady-state decode, vsync-limited
+  rendering) whose demands are far from any limit, during which SysScale holds the
+  low operating point.
+
+The burst share differs per workload -- interactive web browsing is the most
+bursty, steady 60 FPS video playback the least -- which is what produces the
+ordering of the Fig. 9 power savings (playback > gaming > conferencing > web).
+Video playback uses the C0/C2/C8 = 10/5/85 % residencies quoted in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro import config
+from repro.power.cstates import CState, CStateResidency
+from repro.workloads.io_devices import (
+    CameraConfiguration,
+    DisplayConfiguration,
+    DisplayResolution,
+    PeripheralConfiguration,
+)
+from repro.workloads.trace import (
+    PerformanceMetric,
+    Phase,
+    WorkloadClass,
+    WorkloadTrace,
+)
+
+
+@dataclass(frozen=True)
+class BatteryLifeCharacteristics:
+    """Behavioural parameters of one battery-life workload."""
+
+    residency: CStateResidency
+    cpu_bandwidth_gbps: float
+    gfx_bandwidth_gbps: float
+    cpu_activity: float
+    gfx_activity: float
+    gfx_fraction: float
+    compute_fraction: float
+    burst_share: float
+    peripherals: PeripheralConfiguration
+    description: str
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.burst_share < 1.0:
+            raise ValueError("burst share must be in [0, 1)")
+
+
+def _residency(c0: float, c2: float, c8: float, c6: float = 0.0) -> CStateResidency:
+    states = {CState.C0: c0, CState.C2: c2, CState.C8: c8}
+    if c6 > 0:
+        states[CState.C6] = c6
+    return CStateResidency(states)
+
+
+#: The four representative battery-life workloads of Fig. 9 [1].
+BATTERY_LIFE_WORKLOADS: Dict[str, BatteryLifeCharacteristics] = {
+    "web_browsing": BatteryLifeCharacteristics(
+        residency=_residency(c0=0.25, c2=0.10, c8=0.65),
+        cpu_bandwidth_gbps=1.6,
+        gfx_bandwidth_gbps=0.6,
+        cpu_activity=0.55,
+        gfx_activity=0.20,
+        gfx_fraction=0.10,
+        compute_fraction=0.55,
+        burst_share=0.55,
+        peripherals=PeripheralConfiguration(
+            display=DisplayConfiguration(DisplayResolution.HD, panel_count=1)
+        ),
+        description="Page loads and scrolling with a single HD panel active.",
+    ),
+    "light_gaming": BatteryLifeCharacteristics(
+        residency=_residency(c0=0.40, c2=0.10, c8=0.40, c6=0.10),
+        cpu_bandwidth_gbps=1.8,
+        gfx_bandwidth_gbps=2.4,
+        cpu_activity=0.50,
+        gfx_activity=0.60,
+        gfx_fraction=0.45,
+        compute_fraction=0.30,
+        burst_share=0.32,
+        peripherals=PeripheralConfiguration(
+            display=DisplayConfiguration(DisplayResolution.HD, panel_count=1)
+        ),
+        description="Casual 3D game capped at the display refresh rate.",
+    ),
+    "video_conferencing": BatteryLifeCharacteristics(
+        residency=_residency(c0=0.30, c2=0.10, c8=0.60),
+        cpu_bandwidth_gbps=1.4,
+        gfx_bandwidth_gbps=0.8,
+        cpu_activity=0.50,
+        gfx_activity=0.25,
+        gfx_fraction=0.15,
+        compute_fraction=0.45,
+        burst_share=0.45,
+        peripherals=PeripheralConfiguration(
+            display=DisplayConfiguration(DisplayResolution.HD, panel_count=1),
+            camera=CameraConfiguration(active_cameras=1, megapixels=2.0, frames_per_second=30.0),
+        ),
+        description="Camera capture, encode, decode, and HD display.",
+    ),
+    "video_playback": BatteryLifeCharacteristics(
+        residency=CStateResidency.video_playback(),
+        cpu_bandwidth_gbps=0.8,
+        gfx_bandwidth_gbps=1.0,
+        cpu_activity=0.40,
+        gfx_activity=0.30,
+        gfx_fraction=0.20,
+        compute_fraction=0.35,
+        burst_share=0.08,
+        peripherals=PeripheralConfiguration(
+            display=DisplayConfiguration(DisplayResolution.HD, panel_count=1)
+        ),
+        description="60 FPS local video playback with hardware decode.",
+    ),
+}
+
+#: Duration of one modelled activity cycle, seconds.
+DEFAULT_CYCLE_DURATION = 1.0
+
+#: Number of cycles in a trace.
+DEFAULT_CYCLES = 3
+
+
+def _cycle_phases(name: str, char: BatteryLifeCharacteristics, index: int,
+                  cycle_duration: float) -> List[Phase]:
+    """The steady + burst phases of one activity cycle."""
+    io_demand = char.peripherals.static_bandwidth_demand
+    phases: List[Phase] = []
+
+    # Steady phase: light demands, far from any latency or bandwidth limit.
+    steady_memory = 0.05
+    steady_io = 0.03
+    steady_other = (
+        1.0 - char.compute_fraction - char.gfx_fraction - steady_memory - steady_io
+    )
+    steady_duration = cycle_duration * (1.0 - char.burst_share)
+    phases.append(
+        Phase(
+            name=f"{name}_steady_{index}",
+            duration=steady_duration,
+            compute_fraction=char.compute_fraction,
+            gfx_fraction=char.gfx_fraction,
+            memory_latency_fraction=steady_memory * 0.6,
+            memory_bandwidth_fraction=steady_memory * 0.4,
+            io_fraction=steady_io,
+            other_fraction=steady_other,
+            cpu_bandwidth_demand=config.gbps(char.cpu_bandwidth_gbps),
+            gfx_bandwidth_demand=config.gbps(char.gfx_bandwidth_gbps),
+            io_bandwidth_demand=io_demand,
+            cpu_activity=char.cpu_activity,
+            gfx_activity=char.gfx_activity,
+            io_activity=0.6,
+            active_cores=config.SKYLAKE_CORE_COUNT,
+            residency=char.residency,
+        )
+    )
+
+    # Burst phase: interactive / frame-setup work that is latency sensitive
+    # enough for SysScale to keep the high operating point.
+    if char.burst_share > 0:
+        burst_io = 0.08
+        burst_compute = max(0.0, char.compute_fraction - 0.10)
+        burst_gfx = char.gfx_fraction
+        burst_memory = min(0.30, 1.0 - burst_compute - burst_gfx - burst_io - 0.02)
+        burst_other = 1.0 - burst_compute - burst_gfx - burst_memory - burst_io
+        phases.append(
+            Phase(
+                name=f"{name}_burst_{index}",
+                duration=cycle_duration * char.burst_share,
+                compute_fraction=burst_compute,
+                gfx_fraction=burst_gfx,
+                memory_latency_fraction=burst_memory * 0.7,
+                memory_bandwidth_fraction=burst_memory * 0.3,
+                io_fraction=burst_io,
+                other_fraction=burst_other,
+                cpu_bandwidth_demand=config.gbps(char.cpu_bandwidth_gbps * 2.5),
+                gfx_bandwidth_demand=config.gbps(char.gfx_bandwidth_gbps * 1.5),
+                io_bandwidth_demand=io_demand,
+                cpu_activity=min(1.0, char.cpu_activity + 0.25),
+                gfx_activity=char.gfx_activity,
+                io_activity=0.7,
+                active_cores=config.SKYLAKE_CORE_COUNT,
+                residency=char.residency,
+            )
+        )
+    return phases
+
+
+def battery_life_workload(
+    name: str,
+    cycle_duration: float = DEFAULT_CYCLE_DURATION,
+    cycles: int = DEFAULT_CYCLES,
+) -> WorkloadTrace:
+    """Build the trace for one battery-life workload by name."""
+    if name not in BATTERY_LIFE_WORKLOADS:
+        raise KeyError(
+            f"unknown battery-life workload {name!r}; known: {sorted(BATTERY_LIFE_WORKLOADS)}"
+        )
+    if cycle_duration <= 0:
+        raise ValueError("cycle duration must be positive")
+    if cycles <= 0:
+        raise ValueError("cycle count must be positive")
+
+    char = BATTERY_LIFE_WORKLOADS[name]
+    phases: List[Phase] = []
+    for index in range(cycles):
+        phases.extend(_cycle_phases(name, char, index, cycle_duration))
+    return WorkloadTrace(
+        name=name,
+        workload_class=WorkloadClass.BATTERY_LIFE,
+        phases=tuple(phases),
+        metric=PerformanceMetric.AVERAGE_POWER,
+        description=char.description,
+    )
+
+
+def battery_life_suite(
+    cycle_duration: float = DEFAULT_CYCLE_DURATION, cycles: int = DEFAULT_CYCLES
+) -> List[WorkloadTrace]:
+    """The four battery-life workloads of Fig. 9."""
+    return [
+        battery_life_workload(name, cycle_duration, cycles)
+        for name in BATTERY_LIFE_WORKLOADS
+    ]

@@ -1,0 +1,142 @@
+"""3DMark graphics workload traces (3DMark06, 3DMark11, 3DMark Vantage).
+
+Graphics workload performance is "highly scalable with the graphics engine
+frequency" (Sec. 7.2): the PBM gives the graphics engine 80-90 % of the compute
+budget, the CPU cores run at Pn, and SysScale's benefit comes from boosting the
+graphics frequency with the power freed from the IO and memory domains.  The three
+3DMark variants differ mainly in how memory-bandwidth hungry their scenes are,
+which is why their measured improvements differ (8.9 % / 6.7 % / 8.1 %).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro import config
+from repro.workloads.trace import (
+    PerformanceMetric,
+    Phase,
+    WorkloadClass,
+    WorkloadTrace,
+)
+
+
+@dataclass(frozen=True)
+class GraphicsCharacteristics:
+    """Per-scene structure of one 3DMark variant.
+
+    ``scenes`` is a list of (gfx_fraction, memory fractions, demand) tuples: each
+    scene becomes one phase.  ``gfx_demand_gbps`` is the graphics engines' own
+    main-memory traffic; the CPU contributes a small additional stream for scene
+    preparation and driver work.
+    """
+
+    scenes: Tuple[Tuple[str, float, float, float, float], ...]
+    cpu_demand_gbps: float = 1.0
+
+
+#: Scene tables: (name, gfx_fraction, mem_latency_fraction, mem_bandwidth_fraction,
+#: gfx_demand_gbps).  The remaining fraction is split between CPU and "other".
+#: Demands are sized for the small 4.5 W-class graphics slice of Table 2 running
+#: at a few hundred MHz: a handful of GB/s per scene, with 3DMark11 (the most
+#: bandwidth-hungry of the three) highest -- which is why it benefits least from
+#: SysScale in Fig. 8.
+GRAPHICS_BENCHMARKS: Dict[str, GraphicsCharacteristics] = {
+    "3DMark06": GraphicsCharacteristics(
+        scenes=(
+            ("gt1_return_to_proxycon", 0.91, 0.03, 0.03, 4.0),
+            ("gt2_firefly_forest", 0.92, 0.02, 0.03, 3.6),
+            ("cpu_test", 0.45, 0.08, 0.04, 2.0),
+            ("hdr_deep_freeze", 0.91, 0.02, 0.04, 4.4),
+        ),
+        cpu_demand_gbps=0.9,
+    ),
+    "3DMark11": GraphicsCharacteristics(
+        scenes=(
+            ("gt1_deep_sea", 0.86, 0.04, 0.07, 6.2),
+            ("gt2_deep_sea", 0.85, 0.04, 0.08, 6.6),
+            ("gt3_high_temple", 0.87, 0.04, 0.06, 5.8),
+            ("physics_test", 0.45, 0.10, 0.06, 2.8),
+        ),
+        cpu_demand_gbps=1.1,
+    ),
+    "3DMark Vantage": GraphicsCharacteristics(
+        scenes=(
+            ("gt1_jane_nash", 0.89, 0.03, 0.05, 5.0),
+            ("gt2_new_calico", 0.90, 0.02, 0.05, 5.3),
+            ("cpu_ai_test", 0.46, 0.08, 0.05, 2.4),
+        ),
+        cpu_demand_gbps=1.0,
+    ),
+}
+
+#: Nominal duration per scene, seconds.
+DEFAULT_SCENE_DURATION = 1.0
+
+
+def _scene_phase(
+    name: str,
+    gfx_fraction: float,
+    latency_fraction: float,
+    bandwidth_fraction: float,
+    gfx_demand_gbps: float,
+    cpu_demand_gbps: float,
+    duration: float,
+) -> Phase:
+    remaining = 1.0 - gfx_fraction - latency_fraction - bandwidth_fraction
+    compute_fraction = max(0.0, remaining * 0.7)
+    other_fraction = max(0.0, remaining - compute_fraction)
+    return Phase(
+        name=name,
+        duration=duration,
+        compute_fraction=compute_fraction,
+        gfx_fraction=gfx_fraction,
+        memory_latency_fraction=latency_fraction,
+        memory_bandwidth_fraction=bandwidth_fraction,
+        other_fraction=other_fraction,
+        cpu_bandwidth_demand=config.gbps(cpu_demand_gbps),
+        gfx_bandwidth_demand=config.gbps(gfx_demand_gbps),
+        io_bandwidth_demand=config.gbps(0.5),
+        cpu_activity=0.45,
+        gfx_activity=0.95,
+        io_activity=0.35,
+        active_cores=config.SKYLAKE_CORE_COUNT,
+    )
+
+
+def graphics_workload(
+    name: str, scene_duration: float = DEFAULT_SCENE_DURATION
+) -> WorkloadTrace:
+    """Build the trace for one 3DMark variant by name."""
+    if name not in GRAPHICS_BENCHMARKS:
+        raise KeyError(
+            f"unknown graphics benchmark {name!r}; known: {sorted(GRAPHICS_BENCHMARKS)}"
+        )
+    if scene_duration <= 0:
+        raise ValueError("scene duration must be positive")
+    char = GRAPHICS_BENCHMARKS[name]
+    phases: List[Phase] = [
+        _scene_phase(
+            scene_name,
+            gfx_fraction,
+            latency_fraction,
+            bandwidth_fraction,
+            gfx_demand,
+            char.cpu_demand_gbps,
+            scene_duration,
+        )
+        for scene_name, gfx_fraction, latency_fraction, bandwidth_fraction, gfx_demand in char.scenes
+    ]
+    return WorkloadTrace(
+        name=name,
+        workload_class=WorkloadClass.GRAPHICS,
+        phases=tuple(phases),
+        metric=PerformanceMetric.FRAMES_PER_SECOND,
+        description=f"{name} graphics benchmark (synthetic scene trace)",
+    )
+
+
+def graphics_suite(scene_duration: float = DEFAULT_SCENE_DURATION) -> List[WorkloadTrace]:
+    """The three 3DMark variants of Fig. 8."""
+    return [graphics_workload(name, scene_duration) for name in GRAPHICS_BENCHMARKS]

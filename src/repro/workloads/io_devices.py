@@ -1,0 +1,185 @@
+"""IO device (peripheral) configurations and their static bandwidth demands.
+
+The SysScale demand predictor treats demand that depends only on the system
+configuration as *static* (Sec. 4.2): the number of connected display panels, their
+resolution and refresh rate, and the number of active cameras determine a
+deterministic bandwidth demand that the PMU reads from control and status
+registers.  Fig. 3(b) quantifies the display engine's demand: an HD panel consumes
+roughly 17 % of the dual-channel LPDDR3 peak (25.6 GB/s at 1.6 GHz), a single 4K
+panel roughly 70 %, and three panels roughly three times one panel.
+
+This module provides those configurations and the lookup table (configuration ->
+bandwidth/latency demand) that the PMU firmware maintains.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro import config
+
+
+class DisplayResolution(str, enum.Enum):
+    """Display panel resolutions referenced by the paper (HD up to 4K)."""
+
+    HD = "hd"            # 1366 x 768
+    FHD = "fhd"          # 1920 x 1080
+    QHD = "qhd"          # 2560 x 1440
+    UHD_4K = "uhd_4k"    # 3840 x 2160
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Memory-bandwidth demand of one panel as a fraction of the LPDDR3 peak
+#: (Fig. 3(b): HD ~17 %, 4K ~70 %; FHD/QHD interpolated by pixel count).
+DISPLAY_BANDWIDTH_FRACTION: Dict[DisplayResolution, float] = {
+    DisplayResolution.HD: 0.17,
+    DisplayResolution.FHD: 0.28,
+    DisplayResolution.QHD: 0.45,
+    DisplayResolution.UHD_4K: 0.70,
+}
+
+#: Reference refresh rate the fractions above were characterised at (Hz).
+REFERENCE_REFRESH_RATE = 60.0
+
+
+@dataclass(frozen=True)
+class DisplayConfiguration:
+    """An attached display panel configuration."""
+
+    resolution: DisplayResolution = DisplayResolution.HD
+    refresh_rate: float = REFERENCE_REFRESH_RATE
+    panel_count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.refresh_rate <= 0:
+            raise ValueError("refresh rate must be positive")
+        if not 0 <= self.panel_count <= 3:
+            raise ValueError("modern laptops support up to three display panels (Sec. 4.2)")
+
+    @property
+    def bandwidth_demand(self) -> float:
+        """Memory bandwidth demand of the display engine (bytes/s).
+
+        Scales linearly with panel count and refresh rate (Fig. 3(b)).
+        """
+        per_panel = (
+            DISPLAY_BANDWIDTH_FRACTION[self.resolution]
+            * config.LPDDR3_PEAK_BANDWIDTH
+            * (self.refresh_rate / REFERENCE_REFRESH_RATE)
+        )
+        return per_panel * self.panel_count
+
+    @property
+    def is_active(self) -> bool:
+        """True when at least one panel is connected."""
+        return self.panel_count > 0
+
+
+@dataclass(frozen=True)
+class CameraConfiguration:
+    """An active camera / ISP streaming configuration."""
+
+    active_cameras: int = 0
+    megapixels: float = 2.0
+    frames_per_second: float = 30.0
+    bytes_per_pixel: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.active_cameras < 0:
+            raise ValueError("camera count must be non-negative")
+        if self.megapixels <= 0 or self.frames_per_second <= 0 or self.bytes_per_pixel <= 0:
+            raise ValueError("camera parameters must be positive")
+
+    @property
+    def bandwidth_demand(self) -> float:
+        """ISP engine memory bandwidth demand (bytes/s).
+
+        Each streaming camera writes its frames and the ISP reads them back for
+        processing, hence the factor of two on the raw pixel rate.
+        """
+        raw = (
+            self.megapixels
+            * 1e6
+            * self.bytes_per_pixel
+            * self.frames_per_second
+            * self.active_cameras
+        )
+        return raw * 2.0
+
+    @property
+    def is_active(self) -> bool:
+        """True when at least one camera is streaming."""
+        return self.active_cameras > 0
+
+
+@dataclass(frozen=True)
+class PeripheralConfiguration:
+    """The full peripheral configuration the PMU reads from CSRs (Sec. 4.2)."""
+
+    display: DisplayConfiguration = field(default_factory=DisplayConfiguration)
+    camera: CameraConfiguration = field(default_factory=CameraConfiguration)
+    other_io_bandwidth: float = 0.0
+    latency_sensitive: bool = False
+
+    def __post_init__(self) -> None:
+        if self.other_io_bandwidth < 0:
+            raise ValueError("other IO bandwidth must be non-negative")
+
+    @property
+    def static_bandwidth_demand(self) -> float:
+        """Total static (configuration-determined) bandwidth demand (bytes/s)."""
+        return (
+            self.display.bandwidth_demand
+            + self.camera.bandwidth_demand
+            + self.other_io_bandwidth
+        )
+
+    @property
+    def has_isochronous_traffic(self) -> bool:
+        """True when QoS-critical (isochronous) IO traffic is present.
+
+        Display scanout and camera capture are isochronous: underflow corrupts
+        frames, so mispredicting their demand violates QoS (Sec. 1, challenge 1).
+        """
+        return self.display.is_active or self.camera.is_active or self.latency_sensitive
+
+    def describe(self) -> dict:
+        """Flat summary for result tables."""
+        return {
+            "display_panels": self.display.panel_count,
+            "display_resolution": str(self.display.resolution),
+            "display_bandwidth_gbps": self.display.bandwidth_demand / config.GBPS,
+            "active_cameras": self.camera.active_cameras,
+            "camera_bandwidth_gbps": self.camera.bandwidth_demand / config.GBPS,
+            "other_io_bandwidth_gbps": self.other_io_bandwidth / config.GBPS,
+            "static_bandwidth_gbps": self.static_bandwidth_demand / config.GBPS,
+            "isochronous": self.has_isochronous_traffic,
+        }
+
+
+#: Named configurations used by Fig. 3(b) and the battery-life experiments.
+STANDARD_CONFIGURATIONS: Dict[str, PeripheralConfiguration] = {
+    "no_display": PeripheralConfiguration(
+        display=DisplayConfiguration(panel_count=0)
+    ),
+    "single_hd": PeripheralConfiguration(
+        display=DisplayConfiguration(DisplayResolution.HD, panel_count=1)
+    ),
+    "single_fhd": PeripheralConfiguration(
+        display=DisplayConfiguration(DisplayResolution.FHD, panel_count=1)
+    ),
+    "single_4k": PeripheralConfiguration(
+        display=DisplayConfiguration(DisplayResolution.UHD_4K, panel_count=1)
+    ),
+    "triple_hd": PeripheralConfiguration(
+        display=DisplayConfiguration(DisplayResolution.HD, panel_count=3)
+    ),
+    "hd_with_camera": PeripheralConfiguration(
+        display=DisplayConfiguration(DisplayResolution.HD, panel_count=1),
+        camera=CameraConfiguration(active_cameras=1, megapixels=2.0, frames_per_second=30.0),
+    ),
+}

@@ -1,0 +1,104 @@
+"""Synthetic microbenchmarks.
+
+The paper uses a microbenchmark "designed to exercise the peak memory bandwidth of
+DRAM (similar to STREAM)" to isolate the effect of unoptimized MRC values on the
+memory subsystem (Fig. 4, Sec. 3).  This module builds that workload plus a few
+pointer-chasing / idle variants useful for testing the latency model and the
+demand predictor.
+"""
+
+from __future__ import annotations
+
+from repro import config
+from repro.workloads.trace import (
+    PerformanceMetric,
+    Phase,
+    WorkloadClass,
+    WorkloadTrace,
+    uniform_phase_trace,
+)
+
+
+def peak_bandwidth_microbenchmark(
+    duration: float = 2.0,
+    demand_gbps: float = 24.0,
+) -> WorkloadTrace:
+    """STREAM-like microbenchmark saturating the memory interface (Fig. 4).
+
+    Nearly all of its time is bound by memory bandwidth; the demand slightly
+    exceeds what the interface can deliver so it always runs at the ceiling.
+    """
+    if duration <= 0:
+        raise ValueError("duration must be positive")
+    phase = Phase(
+        name="stream_triad",
+        duration=duration,
+        compute_fraction=0.04,
+        memory_latency_fraction=0.04,
+        memory_bandwidth_fraction=0.90,
+        other_fraction=0.02,
+        cpu_bandwidth_demand=config.gbps(demand_gbps),
+        cpu_activity=0.85,
+        io_activity=0.1,
+        active_cores=config.SKYLAKE_CORE_COUNT,
+    )
+    return uniform_phase_trace(
+        name="peak_bandwidth_microbenchmark",
+        workload_class=WorkloadClass.MICROBENCHMARK,
+        phase=phase,
+        repetitions=1,
+        metric=PerformanceMetric.BANDWIDTH,
+        description="STREAM-like kernel exercising peak DRAM bandwidth (Fig. 4).",
+    )
+
+
+def pointer_chasing_microbenchmark(duration: float = 2.0) -> WorkloadTrace:
+    """A dependent-load kernel that is almost entirely memory-latency bound."""
+    if duration <= 0:
+        raise ValueError("duration must be positive")
+    phase = Phase(
+        name="pointer_chase",
+        duration=duration,
+        compute_fraction=0.06,
+        memory_latency_fraction=0.88,
+        memory_bandwidth_fraction=0.02,
+        other_fraction=0.04,
+        cpu_bandwidth_demand=config.gbps(1.2),
+        cpu_activity=0.7,
+        io_activity=0.1,
+        active_cores=1,
+    )
+    return uniform_phase_trace(
+        name="pointer_chasing_microbenchmark",
+        workload_class=WorkloadClass.MICROBENCHMARK,
+        phase=phase,
+        repetitions=1,
+        metric=PerformanceMetric.BENCHMARK_SCORE,
+        description="Dependent-load kernel bound by main-memory latency.",
+    )
+
+
+def compute_only_microbenchmark(duration: float = 2.0) -> WorkloadTrace:
+    """A register-resident kernel that scales 1:1 with CPU frequency."""
+    if duration <= 0:
+        raise ValueError("duration must be positive")
+    phase = Phase(
+        name="alu_loop",
+        duration=duration,
+        compute_fraction=0.97,
+        memory_latency_fraction=0.01,
+        memory_bandwidth_fraction=0.0,
+        other_fraction=0.02,
+        cpu_bandwidth_demand=config.gbps(0.1),
+        cpu_activity=1.0,
+        io_activity=0.05,
+        active_cores=config.SKYLAKE_CORE_COUNT,
+    )
+    return uniform_phase_trace(
+        name="compute_only_microbenchmark",
+        workload_class=WorkloadClass.MICROBENCHMARK,
+        phase=phase,
+        repetitions=1,
+        metric=PerformanceMetric.BENCHMARK_SCORE,
+        description="ALU-only kernel, fully scalable with core frequency.",
+    )

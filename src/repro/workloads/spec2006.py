@@ -1,0 +1,222 @@
+"""SPEC CPU2006 workload traces.
+
+The paper evaluates CPU performance with the SPEC CPU2006 suite (Sec. 6).  The
+actual benchmark binaries are not available here, so each of the 29 benchmarks is
+represented by a phase trace whose bottleneck structure and memory bandwidth demand
+follow the well-documented behaviour of the suite and the specific observations the
+paper makes:
+
+* 416.gamess and 444.namd are highly scalable with CPU frequency (Sec. 7.1);
+* 410.bwaves and 433.milc are heavily memory bound and gain almost nothing;
+* 436.cactusADM is mainly *latency* bound, 470.lbm mainly *bandwidth* bound with a
+  constant ~10 GB/s demand, 400.perlbench is core bound with occasional demand
+  spikes (Fig. 2, Fig. 3(a));
+* 473.astar alternates between multi-second low-demand (~1 GB/s) and high-demand
+  (~10 GB/s) phases (Sec. 7.1, Fig. 3(a)).
+
+Bandwidth demands are for two benchmark copies (rate-style run on the 2-core
+M-6Y75), at the reference configuration of Table 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro import config
+from repro.workloads.trace import (
+    PerformanceMetric,
+    Phase,
+    WorkloadClass,
+    WorkloadTrace,
+)
+
+
+@dataclass(frozen=True)
+class SpecCharacteristics:
+    """Steady-state characteristics of one SPEC CPU2006 benchmark.
+
+    ``compute``, ``latency``, ``bandwidth`` and ``other`` are the bottleneck
+    fractions; ``demand_gbps`` is the average main-memory bandwidth demand of a
+    two-copy run; ``spiky`` marks benchmarks whose demand varies strongly over time
+    (they get a multi-phase trace instead of a single steady phase).
+    """
+
+    compute: float
+    latency: float
+    bandwidth: float
+    other: float
+    demand_gbps: float
+    spiky: bool = False
+
+    def __post_init__(self) -> None:
+        total = self.compute + self.latency + self.bandwidth + self.other
+        if abs(total - 1.0) > 1e-6:
+            raise ValueError(f"fractions must sum to 1, got {total}")
+        if self.demand_gbps < 0:
+            raise ValueError("demand must be non-negative")
+
+
+#: The 29 SPEC CPU2006 benchmarks.  Fractions and demands follow published
+#: characterisations of the suite on low-power mobile parts; see module docstring.
+#: The fractions reflect behaviour on a *low-frequency* (1.2-1.7 GHz) dual-core
+#: mobile part: at these core clocks a large share of main-memory latency is
+#: hidden by out-of-order execution and prefetching, so the memory-bound fractions
+#: are noticeably smaller than the same benchmarks exhibit on multi-GHz server
+#: cores, while bandwidth-saturating workloads (lbm, libquantum, bwaves, milc)
+#: remain firmly memory bound.
+SPEC_CPU2006: Dict[str, SpecCharacteristics] = {
+    # --- integer suite -------------------------------------------------
+    "400.perlbench": SpecCharacteristics(0.89, 0.05, 0.03, 0.03, 1.8, spiky=True),
+    "401.bzip2": SpecCharacteristics(0.85, 0.07, 0.05, 0.03, 2.4),
+    "403.gcc": SpecCharacteristics(0.71, 0.15, 0.10, 0.04, 3.2, spiky=True),
+    "429.mcf": SpecCharacteristics(0.32, 0.50, 0.14, 0.04, 5.6),
+    "445.gobmk": SpecCharacteristics(0.90, 0.05, 0.02, 0.03, 1.2),
+    "456.hmmer": SpecCharacteristics(0.92, 0.03, 0.02, 0.03, 1.0),
+    "458.sjeng": SpecCharacteristics(0.90, 0.05, 0.02, 0.03, 0.9),
+    "462.libquantum": SpecCharacteristics(0.27, 0.18, 0.51, 0.04, 10.0),
+    "464.h264ref": SpecCharacteristics(0.87, 0.06, 0.04, 0.03, 1.6),
+    "471.omnetpp": SpecCharacteristics(0.46, 0.38, 0.12, 0.04, 4.0),
+    "473.astar": SpecCharacteristics(0.68, 0.17, 0.11, 0.04, 4.5, spiky=True),
+    "483.xalancbmk": SpecCharacteristics(0.68, 0.18, 0.10, 0.04, 3.6),
+    # --- floating-point suite -------------------------------------------
+    "410.bwaves": SpecCharacteristics(0.20, 0.26, 0.50, 0.04, 9.5),
+    "416.gamess": SpecCharacteristics(0.94, 0.02, 0.01, 0.03, 0.7),
+    "433.milc": SpecCharacteristics(0.22, 0.28, 0.46, 0.04, 8.5),
+    "434.zeusmp": SpecCharacteristics(0.68, 0.14, 0.14, 0.04, 4.2),
+    "435.gromacs": SpecCharacteristics(0.91, 0.04, 0.02, 0.03, 1.1),
+    "436.cactusADM": SpecCharacteristics(0.38, 0.44, 0.14, 0.04, 5.0),
+    "437.leslie3d": SpecCharacteristics(0.36, 0.22, 0.38, 0.04, 7.0),
+    "444.namd": SpecCharacteristics(0.93, 0.03, 0.01, 0.03, 0.8),
+    "447.dealII": SpecCharacteristics(0.84, 0.08, 0.05, 0.03, 2.2),
+    "450.soplex": SpecCharacteristics(0.42, 0.32, 0.22, 0.04, 6.0),
+    "453.povray": SpecCharacteristics(0.94, 0.02, 0.01, 0.03, 0.5),
+    "454.calculix": SpecCharacteristics(0.90, 0.05, 0.02, 0.03, 1.3),
+    "459.GemsFDTD": SpecCharacteristics(0.32, 0.28, 0.36, 0.04, 7.2),
+    "465.tonto": SpecCharacteristics(0.88, 0.06, 0.03, 0.03, 1.5),
+    "470.lbm": SpecCharacteristics(0.16, 0.20, 0.60, 0.04, 10.5),
+    "481.wrf": SpecCharacteristics(0.69, 0.15, 0.12, 0.04, 3.8),
+    "482.sphinx3": SpecCharacteristics(0.62, 0.20, 0.14, 0.04, 4.6),
+}
+
+#: Nominal per-benchmark runtime used for the traces, seconds.  Short enough to
+#: simulate quickly, long enough to span many 30 ms evaluation intervals.
+DEFAULT_SPEC_DURATION = 3.0
+
+
+def _steady_phase(name: str, char: SpecCharacteristics, duration: float) -> Phase:
+    """One steady phase matching the benchmark's average characteristics."""
+    return Phase(
+        name=name,
+        duration=duration,
+        compute_fraction=char.compute,
+        memory_latency_fraction=char.latency,
+        memory_bandwidth_fraction=char.bandwidth,
+        other_fraction=char.other,
+        cpu_bandwidth_demand=config.gbps(char.demand_gbps),
+        cpu_activity=0.95,
+        io_activity=0.15,
+        active_cores=config.SKYLAKE_CORE_COUNT,
+    )
+
+
+def _spiky_phases(name: str, char: SpecCharacteristics, duration: float) -> List[Phase]:
+    """A low/high demand alternation for benchmarks with strong temporal variation.
+
+    The low phases are more compute bound than the average, the high phases more
+    memory bound; the duration-weighted average matches the steady characteristics.
+    """
+    low_duration = duration * 0.6
+    high_duration = duration * 0.4
+    shift = min(0.85 * (char.latency + char.bandwidth), 0.25)
+
+    low_compute = min(0.96, char.compute + shift)
+    low_latency = max(0.0, char.latency - shift * 0.7)
+    low_bandwidth = max(0.0, char.bandwidth - shift * 0.3)
+    low_other = 1.0 - low_compute - low_latency - low_bandwidth
+
+    # Balance the high phase so the duration-weighted mix equals the average.
+    high_compute = max(0.0, (char.compute * duration - low_compute * low_duration) / high_duration)
+    high_latency = max(0.0, (char.latency * duration - low_latency * low_duration) / high_duration)
+    high_bandwidth = max(
+        0.0, (char.bandwidth * duration - low_bandwidth * low_duration) / high_duration
+    )
+    high_other = max(0.0, 1.0 - high_compute - high_latency - high_bandwidth)
+
+    low_demand = config.gbps(max(0.3, char.demand_gbps * 0.25))
+    high_demand = (config.gbps(char.demand_gbps) * duration - low_demand * low_duration) / high_duration
+
+    low = Phase(
+        name=f"{name}_low_demand",
+        duration=low_duration,
+        compute_fraction=low_compute,
+        memory_latency_fraction=low_latency,
+        memory_bandwidth_fraction=low_bandwidth,
+        other_fraction=low_other,
+        cpu_bandwidth_demand=low_demand,
+        cpu_activity=0.95,
+        io_activity=0.15,
+        active_cores=config.SKYLAKE_CORE_COUNT,
+    )
+    high = Phase(
+        name=f"{name}_high_demand",
+        duration=high_duration,
+        compute_fraction=high_compute,
+        memory_latency_fraction=high_latency,
+        memory_bandwidth_fraction=high_bandwidth,
+        other_fraction=high_other,
+        cpu_bandwidth_demand=high_demand,
+        cpu_activity=0.95,
+        io_activity=0.15,
+        active_cores=config.SKYLAKE_CORE_COUNT,
+    )
+    # Interleave low/high twice so phase changes exercise the DVFS algorithm.
+    return [
+        low.scaled_duration(0.5),
+        high.scaled_duration(0.5),
+        low.scaled_duration(0.5),
+        high.scaled_duration(0.5),
+    ]
+
+
+def spec_workload(
+    name: str, duration: float = DEFAULT_SPEC_DURATION
+) -> WorkloadTrace:
+    """Build the trace for one SPEC CPU2006 benchmark by name (e.g. ``"470.lbm"``)."""
+    if name not in SPEC_CPU2006:
+        raise KeyError(
+            f"unknown SPEC CPU2006 benchmark {name!r}; known: {sorted(SPEC_CPU2006)}"
+        )
+    if duration <= 0:
+        raise ValueError("duration must be positive")
+    char = SPEC_CPU2006[name]
+    if char.spiky:
+        phases = _spiky_phases(name, char, duration)
+    else:
+        phases = [_steady_phase(name, char, duration)]
+    return WorkloadTrace(
+        name=name,
+        workload_class=WorkloadClass.CPU_MULTI_THREAD,
+        phases=tuple(phases),
+        metric=PerformanceMetric.BENCHMARK_SCORE,
+        description=f"SPEC CPU2006 {name} (two-copy rate run, synthetic phase trace)",
+    )
+
+
+def spec_cpu2006_suite(
+    duration: float = DEFAULT_SPEC_DURATION,
+    subset: Optional[Tuple[str, ...]] = None,
+) -> List[WorkloadTrace]:
+    """Build the full 29-benchmark suite (or a named ``subset``)."""
+    names = sorted(SPEC_CPU2006) if subset is None else list(subset)
+    return [spec_workload(name, duration) for name in names]
+
+
+#: The three motivation benchmarks of Fig. 2.
+MOTIVATION_BENCHMARKS = ("400.perlbench", "436.cactusADM", "470.lbm")
+
+#: Benchmarks the paper singles out as highly scalable with CPU frequency.
+HIGHLY_SCALABLE_BENCHMARKS = ("416.gamess", "444.namd")
+
+#: Benchmarks the paper singles out as heavily memory bound.
+MEMORY_BOUND_BENCHMARKS = ("410.bwaves", "433.milc")

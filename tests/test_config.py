@@ -1,0 +1,101 @@
+"""Tests for the global configuration constants and unit helpers."""
+
+import pytest
+
+from repro import config
+
+
+class TestUnitHelpers:
+    def test_ghz_conversion(self):
+        assert config.ghz(1.6) == pytest.approx(1.6e9)
+
+    def test_mhz_conversion(self):
+        assert config.mhz(300) == pytest.approx(3.0e8)
+
+    def test_gbps_conversion(self):
+        assert config.gbps(25.6) == pytest.approx(25.6e9)
+
+    def test_ms_conversion(self):
+        assert config.ms(30) == pytest.approx(0.03)
+
+    def test_us_conversion(self):
+        assert config.us(10) == pytest.approx(1e-5)
+
+
+class TestPaperAnchoredConstants:
+    def test_lpddr3_bins_match_footnote_4(self):
+        bins = [f / config.GHZ for f in config.LPDDR3_FREQUENCY_BINS]
+        assert bins == pytest.approx([1.6, 1.06, 0.8])
+
+    def test_lpddr3_peak_bandwidth(self):
+        assert config.LPDDR3_PEAK_BANDWIDTH == pytest.approx(25.6e9)
+
+    def test_mc_runs_at_half_ddr_frequency(self):
+        assert config.MC_TO_DDR_FREQUENCY_RATIO == 0.5
+
+    def test_interconnect_frequencies_match_table1(self):
+        assert config.IO_INTERCONNECT_HIGH_FREQUENCY == pytest.approx(0.8e9)
+        assert config.IO_INTERCONNECT_LOW_FREQUENCY == pytest.approx(0.4e9)
+
+    def test_voltage_scales_match_table1(self):
+        assert config.V_SA_LOW_SCALE == pytest.approx(0.8)
+        assert config.V_IO_LOW_SCALE == pytest.approx(0.85)
+
+    def test_skylake_table2_parameters(self):
+        assert config.SKYLAKE_CPU_BASE_FREQUENCY == pytest.approx(1.2e9)
+        assert config.SKYLAKE_GFX_BASE_FREQUENCY == pytest.approx(300e6)
+        assert config.SKYLAKE_LLC_BYTES == 4 * 1024 * 1024
+        assert config.SKYLAKE_DEFAULT_TDP == pytest.approx(4.5)
+        assert config.SKYLAKE_CORE_COUNT == 2
+
+    def test_transition_budget_is_10_microseconds(self):
+        assert config.TRANSITION_TOTAL_LATENCY_BUDGET == pytest.approx(10e-6)
+
+    def test_transition_component_budgets_fit_total(self):
+        components = (
+            config.TRANSITION_VOLTAGE_LATENCY
+            + config.TRANSITION_DRAIN_LATENCY
+            + config.TRANSITION_SELF_REFRESH_EXIT_LATENCY
+            + config.TRANSITION_MRC_LOAD_LATENCY
+            + config.TRANSITION_FIRMWARE_LATENCY
+        )
+        assert components <= config.TRANSITION_TOTAL_LATENCY_BUDGET + 1e-12
+
+    def test_mrc_sram_budget_is_half_kilobyte(self):
+        assert config.MRC_SRAM_BYTES == 512
+
+    def test_evaluation_interval_default_is_30ms(self):
+        assert config.EVALUATION_INTERVAL == pytest.approx(0.03)
+
+    def test_sampling_interval_is_1ms(self):
+        assert config.COUNTER_SAMPLING_INTERVAL == pytest.approx(0.001)
+
+    def test_prediction_bound_is_one_percent(self):
+        assert config.PREDICTION_DEGRADATION_BOUND == pytest.approx(0.01)
+
+    def test_vr_slew_rate_is_50mv_per_us(self):
+        assert config.VR_SLEW_RATE == pytest.approx(0.05 / 1e-6)
+
+
+class TestCalibrationConstants:
+    def test_power_constants_are_positive(self):
+        for name in (
+            "CPU_CORE_CEFF",
+            "GFX_CEFF",
+            "UNCORE_CEFF",
+            "CPU_CORE_LEAKAGE_COEFF",
+            "V_SA_MC_POWER_HIGH",
+            "V_SA_INTERCONNECT_POWER_HIGH",
+            "DDRIO_DIGITAL_POWER_HIGH",
+            "DRAM_BACKGROUND_POWER_HIGH",
+            "PLATFORM_FIXED_POWER",
+        ):
+            assert getattr(config, name) > 0, name
+
+    def test_c_state_power_ordering(self):
+        assert (
+            config.PACKAGE_C2_POWER
+            > config.PACKAGE_C6_POWER
+            > config.PACKAGE_C7_POWER
+            > config.PACKAGE_C8_POWER
+        )

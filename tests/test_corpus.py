@@ -1,0 +1,69 @@
+"""Tests for the synthetic calibration/evaluation corpus."""
+
+import pytest
+
+from repro.workloads.corpus import CorpusGenerator, iter_traces
+from repro.workloads.trace import WorkloadClass
+
+
+@pytest.fixture(scope="module")
+def generator():
+    return CorpusGenerator(seed=123)
+
+
+class TestCorpusGenerator:
+    def test_default_corpus_size(self, generator):
+        corpus = generator.generate()
+        assert len(corpus) == 540
+
+    def test_deterministic_for_seed(self):
+        first = CorpusGenerator(seed=7).generate(single_thread=20, multi_thread=10, graphics=10)
+        second = CorpusGenerator(seed=7).generate(single_thread=20, multi_thread=10, graphics=10)
+        assert [w.memory_sensitivity for w in first] == [w.memory_sensitivity for w in second]
+
+    def test_different_seeds_differ(self):
+        first = CorpusGenerator(seed=1).generate_class(WorkloadClass.CPU_SINGLE_THREAD, 20)
+        second = CorpusGenerator(seed=2).generate_class(WorkloadClass.CPU_SINGLE_THREAD, 20)
+        assert [w.memory_sensitivity for w in first] != [w.memory_sensitivity for w in second]
+
+    def test_class_generation(self, generator):
+        graphics = generator.generate_class(WorkloadClass.GRAPHICS, 25)
+        assert len(graphics) == 25
+        assert all(w.workload_class is WorkloadClass.GRAPHICS for w in graphics)
+        assert all(w.trace.phases[0].gfx_fraction > 0.5 for w in graphics)
+
+    def test_battery_class_not_supported(self, generator):
+        with pytest.raises(ValueError):
+            generator.generate_class(WorkloadClass.BATTERY_LIFE, 5)
+
+    def test_sensitivity_spans_a_wide_range(self, generator):
+        corpus = generator.generate_class(WorkloadClass.CPU_SINGLE_THREAD, 200)
+        sensitivities = [w.memory_sensitivity for w in corpus]
+        assert min(sensitivities) < 0.1
+        assert max(sensitivities) > 0.5
+
+    def test_single_thread_uses_one_core(self, generator):
+        corpus = generator.generate_class(WorkloadClass.CPU_SINGLE_THREAD, 10)
+        assert all(w.trace.phases[0].active_cores == 1 for w in corpus)
+
+    def test_train_eval_split_is_disjoint(self, generator):
+        corpus = generator.generate(single_thread=40, multi_thread=20, graphics=20)
+        train, evaluation = generator.train_eval_split(corpus, train_fraction=0.5)
+        assert len(train) + len(evaluation) == len(corpus)
+        train_names = {w.trace.name for w in train}
+        eval_names = {w.trace.name for w in evaluation}
+        assert not train_names & eval_names
+
+    def test_invalid_split_fraction(self, generator):
+        with pytest.raises(ValueError):
+            generator.train_eval_split([], train_fraction=1.5)
+
+    def test_iter_traces(self, generator):
+        corpus = generator.generate_class(WorkloadClass.CPU_MULTI_THREAD, 5)
+        assert len(list(iter_traces(corpus))) == 5
+
+    def test_all_phases_are_valid(self, generator):
+        corpus = generator.generate(single_thread=30, multi_thread=15, graphics=15)
+        for workload in corpus:
+            for phase in workload.trace.phases:
+                assert abs(sum(phase.fraction_vector()) - 1.0) < 1e-6

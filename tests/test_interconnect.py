@@ -1,0 +1,88 @@
+"""Tests for the block-and-drain IO interconnect."""
+
+import pytest
+
+from repro import config
+from repro.soc.interconnect import (
+    BlockDrainInterconnect,
+    InterconnectPhase,
+    InterconnectStateError,
+)
+
+
+@pytest.fixture
+def fabric():
+    return BlockDrainInterconnect()
+
+
+class TestNormalOperation:
+    def test_submit_and_retire(self, fabric):
+        fabric.submit(4)
+        assert fabric.outstanding_requests == 4
+        fabric.retire(2)
+        assert fabric.outstanding_requests == 2
+
+    def test_queue_depth_cap(self, fabric):
+        fabric.submit(1000)
+        assert fabric.outstanding_requests == fabric.queue_depth
+
+    def test_retire_never_goes_negative(self, fabric):
+        fabric.retire(5)
+        assert fabric.outstanding_requests == 0
+
+    def test_negative_count_rejected(self, fabric):
+        with pytest.raises(ValueError):
+            fabric.submit(-1)
+
+
+class TestBlockDrainProtocol:
+    def test_full_cycle(self, fabric):
+        fabric.submit(8)
+        fabric.block()
+        duration = fabric.drain()
+        assert duration >= 0
+        assert fabric.is_quiescent
+        fabric.release(new_frequency=config.IO_INTERCONNECT_LOW_FREQUENCY)
+        assert fabric.phase is InterconnectPhase.RUNNING
+        assert fabric.frequency == pytest.approx(config.IO_INTERCONNECT_LOW_FREQUENCY)
+
+    def test_drain_time_within_budget(self, fabric):
+        fabric.submit(fabric.queue_depth)
+        fabric.block()
+        assert fabric.drain() <= config.TRANSITION_DRAIN_LATENCY
+
+    def test_submit_while_blocked_rejected(self, fabric):
+        fabric.block()
+        with pytest.raises(InterconnectStateError):
+            fabric.submit()
+
+    def test_drain_without_block_rejected(self, fabric):
+        with pytest.raises(InterconnectStateError):
+            fabric.drain()
+
+    def test_release_without_drain_rejected(self, fabric):
+        fabric.block()
+        with pytest.raises(InterconnectStateError):
+            fabric.release()
+
+    def test_double_block_rejected(self, fabric):
+        fabric.block()
+        with pytest.raises(InterconnectStateError):
+            fabric.block()
+
+    def test_drain_history_recorded(self, fabric):
+        fabric.submit(4)
+        fabric.block()
+        fabric.drain()
+        fabric.release()
+        assert len(fabric.drain_history) == 1
+
+    def test_estimated_drain_time_matches_actual(self, fabric):
+        fabric.submit(16)
+        estimate = fabric.estimated_drain_time()
+        fabric.block()
+        assert fabric.drain() == pytest.approx(estimate)
+
+    def test_empty_drain_is_instant(self, fabric):
+        fabric.block()
+        assert fabric.drain() == pytest.approx(0.0)

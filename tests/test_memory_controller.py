@@ -1,0 +1,99 @@
+"""Tests for the memory controller and latency models."""
+
+import pytest
+
+from repro import config
+from repro.memory.controller import MemoryControllerModel
+from repro.memory.dram import lpddr3_device
+from repro.memory.mrc import MrcRegisterFile, train_mrc
+from repro.memory.timings import timings_for_frequency
+from repro.perf.latency import MemoryLatencyModel
+from repro.soc.domains import SoCState
+
+
+@pytest.fixture
+def controller():
+    return MemoryControllerModel(device=lpddr3_device())
+
+
+@pytest.fixture
+def latency_model(controller):
+    return MemoryLatencyModel(controller=controller)
+
+
+class TestBandwidth:
+    def test_achievable_below_peak(self, controller):
+        assert controller.achievable_bandwidth(1.6e9) < controller.peak_bandwidth(1.6e9)
+
+    def test_achievable_scales_with_frequency(self, controller):
+        assert controller.achievable_bandwidth(1.06e9) < controller.achievable_bandwidth(1.6e9)
+
+    def test_mrc_derate_reduces_ceiling(self, controller):
+        stale = MrcRegisterFile(loaded=train_mrc(timings_for_frequency(1.6e9, "lpddr3")))
+        optimized = controller.achievable_bandwidth(1.06e9, None)
+        derated = controller.achievable_bandwidth(1.06e9, stale)
+        assert derated < optimized
+
+    def test_utilization_clamped(self, controller):
+        assert controller.utilization(1e12, 1.6e9) == 1.0
+        assert controller.utilization(0.0, 1.6e9) == 0.0
+
+    def test_negative_demand_rejected(self, controller):
+        with pytest.raises(ValueError):
+            controller.utilization(-1.0)
+
+
+class TestLatency:
+    def test_unloaded_latency_increases_at_low_point(self, controller):
+        high = controller.unloaded_latency(1.6e9, config.IO_INTERCONNECT_HIGH_FREQUENCY)
+        low = controller.unloaded_latency(1.06e9, config.IO_INTERCONNECT_LOW_FREQUENCY)
+        assert low > high
+
+    def test_latency_increase_is_moderate(self, controller):
+        """The effective low/high latency ratio is well under the raw clock ratios."""
+        high = controller.unloaded_latency(1.6e9, config.IO_INTERCONNECT_HIGH_FREQUENCY)
+        low = controller.unloaded_latency(1.06e9, config.IO_INTERCONNECT_LOW_FREQUENCY)
+        assert 1.0 < low / high < 1.35
+
+    def test_loaded_latency_grows_with_demand(self, controller):
+        light = controller.loaded_latency(1e9, 1.6e9)
+        heavy = controller.loaded_latency(20e9, 1.6e9)
+        assert heavy > light
+
+    def test_loaded_latency_bounded(self, controller):
+        extreme = controller.loaded_latency(1e12, 1.6e9)
+        assert extreme <= controller.unloaded_latency(1.6e9) * 8.0 + 1e-9
+
+    def test_stale_mrc_increases_latency(self, controller):
+        stale = MrcRegisterFile(loaded=train_mrc(timings_for_frequency(1.6e9, "lpddr3")))
+        assert controller.unloaded_latency(1.06e9, mrc=stale) > controller.unloaded_latency(1.06e9)
+
+    def test_invalid_interconnect_frequency(self, controller):
+        with pytest.raises(ValueError):
+            controller.unloaded_latency(1.6e9, interconnect_frequency=0.0)
+
+
+class TestLatencyModel:
+    def test_reference_matches_high_point_state(self, latency_model):
+        state = SoCState()
+        demand = 4e9
+        assert latency_model.latency(state, demand) == pytest.approx(
+            latency_model.reference_latency(demand)
+        )
+
+    def test_ratio_above_one_at_low_point(self, latency_model):
+        low = SoCState(
+            dram_frequency=1.06e9,
+            interconnect_frequency=0.4e9,
+            v_sa_scale=0.8,
+            v_io_scale=0.85,
+        )
+        assert latency_model.latency_ratio(low, 4e9) > 1.0
+
+    def test_available_bandwidth_tracks_state(self, latency_model):
+        low = SoCState(dram_frequency=1.06e9, interconnect_frequency=0.4e9)
+        assert latency_model.available_bandwidth(low) < latency_model.reference_bandwidth()
+
+    def test_invalid_construction(self, controller):
+        with pytest.raises(ValueError):
+            MemoryLatencyModel(controller=controller, reference_dram_frequency=0.0)

@@ -1,0 +1,108 @@
+"""Tests for the memory/IO domain power model."""
+
+import pytest
+
+from repro import config
+from repro.memory.ddrio import DdrioModel
+from repro.memory.dram import lpddr3_device
+from repro.memory.mrc import MrcRegisterFile, train_mrc
+from repro.memory.power import MemoryPowerModel
+from repro.memory.timings import timings_for_frequency
+
+
+@pytest.fixture
+def model():
+    return MemoryPowerModel(device=lpddr3_device(), ddrio=DdrioModel())
+
+
+class TestDdrio:
+    def test_digital_power_scales_with_v_squared_f(self):
+        ddrio = DdrioModel()
+        base = ddrio.digital_power(1.6e9, 1.0)
+        assert ddrio.digital_power(1.06e9, 1.0) == pytest.approx(base * 1.06 / 1.6)
+        assert ddrio.digital_power(1.6e9, 0.85) == pytest.approx(base * 0.85 ** 2)
+
+    def test_termination_power_tracks_utilization_not_frequency(self):
+        ddrio = DdrioModel()
+        assert ddrio.termination_power(0.0) == 0.0
+        assert ddrio.termination_power(1.0) == pytest.approx(ddrio.termination_power_peak)
+
+    def test_self_refresh_power_is_small(self):
+        ddrio = DdrioModel()
+        active = ddrio.total_power(1.6e9, 0.5, 1.0)
+        asleep = ddrio.total_power(1.6e9, 0.5, 1.0, in_self_refresh=True)
+        assert asleep < 0.2 * active
+
+    def test_invalid_utilization(self):
+        with pytest.raises(ValueError):
+            DdrioModel().termination_power(1.5)
+
+
+class TestComponents:
+    def test_background_power_decreases_with_frequency(self, model):
+        assert model.dram_background_power(1.06e9, False) < model.dram_background_power(1.6e9, False)
+
+    def test_background_zero_in_self_refresh(self, model):
+        assert model.dram_background_power(1.6e9, True) == 0.0
+
+    def test_mc_power_cubic_style_scaling(self, model):
+        high = model.memory_controller_power(1.6e9, 1.0)
+        low = model.memory_controller_power(1.06e9, 0.8)
+        assert low == pytest.approx(high * (1.06 / 1.6) * 0.64)
+
+    def test_operation_power_proportional_to_bandwidth(self, model):
+        assert model.dram_operation_power(10e9, 1.6e9) == pytest.approx(
+            2 * model.dram_operation_power(5e9, 1.6e9)
+        )
+
+    def test_operation_energy_rises_at_low_frequency(self, model):
+        per_byte_high = model.dram_operation_power(1e9, 1.6e9)
+        per_byte_low = model.dram_operation_power(1e9, 1.06e9)
+        assert per_byte_low > per_byte_high
+
+    def test_interconnect_power_scales(self, model):
+        high = model.interconnect_power(0.8e9, 1.0)
+        low = model.interconnect_power(0.4e9, 0.8)
+        assert low == pytest.approx(high * 0.5 * 0.64)
+
+    def test_io_engines_floor(self, model):
+        idle = model.io_engines_power(1.0, io_activity=0.0)
+        busy = model.io_engines_power(1.0, io_activity=1.0)
+        assert 0 < idle < busy
+
+
+class TestBreakdown:
+    def test_low_point_reduces_io_memory_power(self, model):
+        high = model.breakdown(1.6e9, 0.8e9, 1.0, 1.0, bandwidth=5e9)
+        low = model.breakdown(1.06e9, 0.4e9, 0.8, 0.85, bandwidth=5e9)
+        assert low.total < high.total
+        assert low.memory_domain < high.memory_domain
+        assert low.io_domain < high.io_domain
+
+    def test_self_refresh_breakdown_is_minimal(self, model):
+        asleep = model.breakdown(1.6e9, 0.8e9, 1.0, 1.0, bandwidth=0.0, in_self_refresh=True)
+        assert asleep.dram_background == 0.0
+        assert asleep.dram_operation == 0.0
+        assert asleep.self_refresh == pytest.approx(model.self_refresh_power)
+
+    def test_stale_mrc_increases_power(self, model):
+        stale = MrcRegisterFile(loaded=train_mrc(timings_for_frequency(1.6e9, "lpddr3")))
+        optimized = model.breakdown(1.06e9, 0.4e9, 0.8, 0.85, bandwidth=10e9, mrc=None)
+        unoptimized = model.breakdown(1.06e9, 0.4e9, 0.8, 0.85, bandwidth=10e9, mrc=stale)
+        assert unoptimized.total > optimized.total
+
+    def test_breakdown_total_is_sum_of_domains(self, model):
+        breakdown = model.breakdown(1.6e9, 0.8e9, 1.0, 1.0, bandwidth=5e9)
+        assert breakdown.total == pytest.approx(breakdown.memory_domain + breakdown.io_domain)
+
+    def test_as_dict_has_totals(self, model):
+        data = model.breakdown(1.6e9, 0.8e9, 1.0, 1.0, bandwidth=5e9).as_dict()
+        assert "total" in data and "memory_domain" in data and "io_domain" in data
+
+    def test_invalid_scale_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.memory_controller_power(1.6e9, 0.0)
+
+    def test_negative_bandwidth_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.dram_operation_power(-1.0, 1.6e9)

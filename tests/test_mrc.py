@@ -1,0 +1,109 @@
+"""Tests for the memory reference code (MRC) model."""
+
+import pytest
+
+from repro import config
+from repro.memory.mrc import (
+    MrcRegisterFile,
+    MrcSram,
+    MrcTrainingError,
+    build_mrc_sram_for_bins,
+    train_mrc,
+)
+from repro.memory.timings import timings_for_frequency
+
+
+@pytest.fixture
+def sram_and_sets():
+    timing_sets = [timings_for_frequency(f, "lpddr3") for f in config.LPDDR3_FREQUENCY_BINS]
+    return build_mrc_sram_for_bins(timing_sets)
+
+
+class TestTraining:
+    def test_training_produces_cycle_counts(self):
+        timings = timings_for_frequency(1.6e9, "lpddr3")
+        configuration = train_mrc(timings)
+        assert configuration.trained_frequency == pytest.approx(1.6e9)
+        assert configuration.tcl_cycles == round(timings.tcl / timings.clock_period)
+
+    def test_different_bins_produce_different_cycle_counts(self):
+        high = train_mrc(timings_for_frequency(1.6e9, "lpddr3"))
+        low = train_mrc(timings_for_frequency(0.8e9, "lpddr3"))
+        assert high.tcl_cycles != low.tcl_cycles
+
+    def test_matches_tolerates_small_error(self):
+        configuration = train_mrc(timings_for_frequency(1.6e9, "lpddr3"))
+        assert configuration.matches(1.6e9 + 10.0)
+        assert not configuration.matches(1.06e9)
+
+
+class TestSram:
+    def test_all_bins_fit_in_half_kilobyte(self, sram_and_sets):
+        sram, _ = sram_and_sets
+        assert sram.used_bytes <= config.MRC_SRAM_BYTES
+        assert len(sram.stored_frequencies) == 3
+
+    def test_load_returns_matching_set(self, sram_and_sets):
+        sram, trained = sram_and_sets
+        loaded = sram.load(1.06e9)
+        assert loaded is trained[1.06e9]
+
+    def test_load_unknown_frequency_raises(self, sram_and_sets):
+        sram, _ = sram_and_sets
+        with pytest.raises(KeyError):
+            sram.load(2.4e9)
+
+    def test_capacity_enforced(self):
+        sram = MrcSram(capacity_bytes=100)
+        with pytest.raises(MrcTrainingError):
+            sram.store(train_mrc(timings_for_frequency(1.6e9, "lpddr3")))
+            sram.store(train_mrc(timings_for_frequency(1.06e9, "lpddr3")))
+
+    def test_restoring_same_frequency_does_not_double_count(self):
+        sram = MrcSram()
+        configuration = train_mrc(timings_for_frequency(1.6e9, "lpddr3"))
+        sram.store(configuration)
+        sram.store(configuration)
+        assert sram.used_bytes == configuration.register_bytes
+
+    def test_load_latency_within_budget(self, sram_and_sets):
+        sram, _ = sram_and_sets
+        assert sram.load_latency() <= config.TRANSITION_MRC_LOAD_LATENCY
+
+
+class TestRegisterFile:
+    def test_optimized_has_no_penalty(self, sram_and_sets):
+        _, trained = sram_and_sets
+        registers = MrcRegisterFile(loaded=trained[1.06e9])
+        assert registers.is_optimized_for(1.06e9)
+        assert registers.effective_bandwidth_derate(1.06e9) == pytest.approx(1.0)
+        assert registers.access_latency_factor(1.06e9) == pytest.approx(1.0)
+        assert registers.interface_power_factor(1.06e9) == pytest.approx(1.0)
+
+    def test_mismatch_applies_fig4_penalties(self, sram_and_sets):
+        _, trained = sram_and_sets
+        registers = MrcRegisterFile(loaded=trained[1.6e9])
+        assert not registers.is_optimized_for(1.06e9)
+        assert registers.effective_bandwidth_derate(1.06e9) == pytest.approx(
+            1.0 - config.UNOPTIMIZED_MRC_PERFORMANCE_PENALTY
+        )
+        assert registers.access_latency_factor(1.06e9) > 1.0
+        assert registers.interface_power_factor(1.06e9) == pytest.approx(
+            1.0 + config.UNOPTIMIZED_MRC_POWER_PENALTY
+        )
+
+    def test_reload_switches_optimization_target(self, sram_and_sets):
+        sram, trained = sram_and_sets
+        registers = MrcRegisterFile(loaded=trained[1.6e9])
+        registers.load(sram.load(1.06e9))
+        assert registers.is_optimized_for(1.06e9)
+        assert not registers.is_optimized_for(1.6e9)
+
+    def test_invalid_penalties_rejected(self, sram_and_sets):
+        _, trained = sram_and_sets
+        with pytest.raises(MrcTrainingError):
+            MrcRegisterFile(loaded=trained[1.6e9], bandwidth_penalty=1.5)
+
+    def test_empty_bin_list_rejected(self):
+        with pytest.raises(MrcTrainingError):
+            build_mrc_sram_for_bins([])

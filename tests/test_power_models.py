@@ -1,0 +1,112 @@
+"""Tests for the compute-domain and whole-SoC power models."""
+
+import pytest
+
+from repro.memory.ddrio import DdrioModel
+from repro.memory.dram import lpddr3_device
+from repro.memory.power import MemoryPowerModel
+from repro.power.models import ActivityVector, ComputePowerModel, SoCPowerModel
+from repro.soc.skylake import build_skylake_soc
+
+
+@pytest.fixture
+def compute_model():
+    soc = build_skylake_soc()
+    return ComputePowerModel(
+        cpu=soc.cpu, gfx=soc.gfx, uncore=soc.uncore,
+        cpu_curve=soc.cpu_curve, gfx_curve=soc.gfx_curve,
+    )
+
+
+@pytest.fixture
+def soc_power(compute_model):
+    memory = MemoryPowerModel(device=lpddr3_device(), ddrio=DdrioModel())
+    return SoCPowerModel(compute=compute_model, memory=memory)
+
+
+class TestActivityVector:
+    def test_defaults_are_valid(self):
+        ActivityVector()
+
+    def test_idle_vector(self):
+        idle = ActivityVector.idle()
+        assert idle.cpu_activity == 0.0 and idle.active_cores == 0
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            ActivityVector(cpu_activity=1.5)
+        with pytest.raises(ValueError):
+            ActivityVector(memory_bandwidth=-1.0)
+
+
+class TestComputePower:
+    def test_cpu_power_increases_with_frequency(self, compute_model):
+        assert compute_model.cpu_power(2.0e9) > compute_model.cpu_power(1.2e9)
+
+    def test_cpu_power_superlinear_in_frequency(self, compute_model):
+        """Voltage rises with frequency, so power grows faster than linearly."""
+        p1 = compute_model.cpu_power(1.2e9)
+        p2 = compute_model.cpu_power(2.4e9)
+        assert p2 > 2.0 * p1
+
+    def test_gfx_power_increases_with_frequency(self, compute_model):
+        assert compute_model.gfx_power(800e6) > compute_model.gfx_power(300e6)
+
+    def test_activity_reduces_power(self, compute_model):
+        assert compute_model.cpu_power(1.5e9, activity=0.5) < compute_model.cpu_power(1.5e9)
+
+    def test_single_core_less_than_two(self, compute_model):
+        assert compute_model.cpu_power(1.5e9, active_cores=1) < compute_model.cpu_power(
+            1.5e9, active_cores=2
+        )
+
+    def test_breakdown_total(self, compute_model):
+        soc = build_skylake_soc()
+        state = soc.default_state()
+        breakdown = compute_model.breakdown(state, ActivityVector())
+        assert breakdown.total == pytest.approx(
+            breakdown.cpu_cores + breakdown.graphics + breakdown.uncore
+        )
+
+    def test_idle_breakdown_only_leakage(self, compute_model):
+        soc = build_skylake_soc()
+        state = soc.default_state()
+        idle = compute_model.breakdown(state, ActivityVector.idle())
+        busy = compute_model.breakdown(state, ActivityVector())
+        assert idle.cpu_cores < busy.cpu_cores
+
+    def test_plausible_magnitude_for_4p5w_part(self, compute_model):
+        """Two cores at the 1.2 GHz base clock should fit inside a 4.5 W TDP."""
+        assert 0.5 < compute_model.cpu_power(1.2e9) < 2.5
+
+
+class TestSoCPower:
+    def test_total_is_sum_of_domains(self, soc_power):
+        soc = build_skylake_soc()
+        breakdown = soc_power.breakdown(soc.default_state(), ActivityVector(memory_bandwidth=5e9))
+        assert breakdown.total == pytest.approx(
+            breakdown.compute_domain
+            + breakdown.io_domain
+            + breakdown.memory_domain
+            + breakdown.platform_fixed
+        )
+
+    def test_total_within_plausible_mobile_range(self, soc_power):
+        soc = build_skylake_soc()
+        total = soc_power.total(soc.default_state(), ActivityVector(memory_bandwidth=5e9))
+        assert 2.0 < total < 8.0
+
+    def test_low_operating_point_reduces_io_memory_power(self, soc_power):
+        soc = build_skylake_soc()
+        high = soc.default_state()
+        low = high.with_updates(
+            dram_frequency=1.06e9, interconnect_frequency=0.4e9, v_sa_scale=0.8, v_io_scale=0.85
+        )
+        activity = ActivityVector(memory_bandwidth=4e9)
+        assert soc_power.io_memory_power(low, activity) < soc_power.io_memory_power(high, activity)
+
+    def test_as_dict(self, soc_power):
+        soc = build_skylake_soc()
+        data = soc_power.breakdown(soc.default_state(), ActivityVector()).as_dict()
+        for key in ("compute_domain", "io_domain", "memory_domain", "total"):
+            assert key in data

@@ -1,0 +1,202 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import config
+from repro.memory.controller import MemoryControllerModel
+from repro.memory.dram import lpddr3_device
+from repro.memory.timings import timings_for_frequency
+from repro.perf.scalability import amdahl_speedup
+from repro.power.cstates import CState, CStateResidency
+from repro.power.energy import EnergyMetrics
+from repro.power.models import ActivityVector, ComputePowerModel
+from repro.soc.skylake import build_skylake_soc
+from repro.soc.vf_curves import VFCurve
+from repro.soc.vr import RailName, VoltageRegulator
+from repro.workloads.trace import Phase
+
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+frequencies = st.floats(min_value=2e8, max_value=2.9e9, allow_nan=False)
+voltscales = st.floats(min_value=0.5, max_value=1.0, allow_nan=False)
+bandwidths = st.floats(min_value=0.0, max_value=30e9, allow_nan=False)
+fractions = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+@st.composite
+def bottleneck_mixes(draw):
+    """Random 6-way bottleneck mixes that sum to one."""
+    raw = [draw(st.floats(min_value=1e-3, max_value=1.0)) for _ in range(6)]
+    total = sum(raw)
+    return [value / total for value in raw]
+
+
+# ---------------------------------------------------------------------------
+# Properties
+# ---------------------------------------------------------------------------
+
+class TestVfCurveProperties:
+    @given(frequency=frequencies)
+    @settings(max_examples=60, deadline=None)
+    def test_voltage_within_curve_bounds(self, frequency):
+        curve = VFCurve.from_points([(4e8, 0.58), (1.2e9, 0.65), (2.9e9, 1.02)])
+        voltage = curve.voltage_at(frequency)
+        assert curve.vmin <= voltage <= curve.vmax
+
+    @given(f1=frequencies, f2=frequencies)
+    @settings(max_examples=60, deadline=None)
+    def test_voltage_monotone(self, f1, f2):
+        curve = VFCurve.from_points([(4e8, 0.58), (1.2e9, 0.65), (2.9e9, 1.02)])
+        lo, hi = min(f1, f2), max(f1, f2)
+        assert curve.voltage_at(lo) <= curve.voltage_at(hi) + 1e-12
+
+
+class TestPowerModelProperties:
+    @given(frequency=frequencies, activity=fractions)
+    @settings(max_examples=60, deadline=None)
+    def test_cpu_power_positive_and_monotone_in_activity(self, frequency, activity):
+        soc = build_skylake_soc()
+        model = ComputePowerModel(
+            cpu=soc.cpu, gfx=soc.gfx, uncore=soc.uncore,
+            cpu_curve=soc.cpu_curve, gfx_curve=soc.gfx_curve,
+        )
+        power = model.cpu_power(frequency, activity=activity)
+        full = model.cpu_power(frequency, activity=1.0)
+        assert power > 0
+        assert power <= full + 1e-12
+
+    @given(scale=voltscales, frequency=st.sampled_from(list(config.LPDDR3_FREQUENCY_BINS)))
+    @settings(max_examples=40, deadline=None)
+    def test_mc_power_monotone_in_voltage(self, scale, frequency):
+        from repro.memory.ddrio import DdrioModel
+        from repro.memory.power import MemoryPowerModel
+
+        model = MemoryPowerModel(device=lpddr3_device(), ddrio=DdrioModel())
+        assert model.memory_controller_power(frequency, scale) <= model.memory_controller_power(
+            frequency, 1.0
+        ) + 1e-12
+
+
+class TestControllerProperties:
+    @given(demand=bandwidths)
+    @settings(max_examples=60, deadline=None)
+    def test_loaded_latency_at_least_unloaded(self, demand):
+        controller = MemoryControllerModel(device=lpddr3_device())
+        assert controller.loaded_latency(demand, 1.6e9) >= controller.unloaded_latency(1.6e9) - 1e-15
+
+    @given(demand=bandwidths, frequency=st.sampled_from(list(config.LPDDR3_FREQUENCY_BINS)))
+    @settings(max_examples=60, deadline=None)
+    def test_utilization_bounded(self, demand, frequency):
+        controller = MemoryControllerModel(device=lpddr3_device())
+        assert 0.0 <= controller.utilization(demand, frequency) <= 1.0
+
+    @given(frequency=st.floats(min_value=0.5e9, max_value=2.4e9))
+    @settings(max_examples=40, deadline=None)
+    def test_peak_bandwidth_scales_linearly(self, frequency):
+        timings = timings_for_frequency(frequency, "lpddr3")
+        assert timings.peak_bandwidth == pytest.approx(frequency * 16, rel=1e-9)
+
+
+class TestPhaseProperties:
+    @given(mix=bottleneck_mixes(), demand=bandwidths)
+    @settings(max_examples=80, deadline=None)
+    def test_any_normalised_mix_builds_a_valid_phase(self, mix, demand):
+        compute, gfx, lat, bw, io, other = mix
+        phase = Phase(
+            name="prop", duration=1.0,
+            compute_fraction=compute, gfx_fraction=gfx,
+            memory_latency_fraction=lat, memory_bandwidth_fraction=bw,
+            io_fraction=io, other_fraction=other,
+            cpu_bandwidth_demand=demand,
+        )
+        assert math.isclose(sum(phase.fraction_vector()), 1.0, rel_tol=1e-6)
+        assert 0.0 <= phase.scalability_with_cpu_frequency <= 1.0
+
+    @given(mix=bottleneck_mixes(), demand=bandwidths)
+    @settings(max_examples=60, deadline=None)
+    def test_slowdown_positive_for_valid_states(self, platform, mix, demand):
+        compute, gfx, lat, bw, io, other = mix
+        phase = Phase(
+            name="prop", duration=1.0,
+            compute_fraction=compute, gfx_fraction=gfx,
+            memory_latency_fraction=lat, memory_bandwidth_fraction=bw,
+            io_fraction=io, other_fraction=other,
+            cpu_bandwidth_demand=demand,
+        )
+        from repro.soc.domains import SoCState
+
+        low = SoCState(
+            dram_frequency=1.06e9, interconnect_frequency=0.4e9,
+            v_sa_scale=0.8, v_io_scale=0.85,
+        )
+        slowdown = platform.performance_model.slowdown(phase, low)
+        assert slowdown.total > 0
+        assert slowdown.achieved_bandwidth >= 0
+
+
+class TestMetricsProperties:
+    @given(
+        energy=st.floats(min_value=1e-6, max_value=1e3),
+        time=st.floats(min_value=1e-6, max_value=1e3),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_energy_metric_identities(self, energy, time):
+        metrics = EnergyMetrics(energy_joules=energy, execution_time_seconds=time)
+        assert metrics.average_power == pytest.approx(energy / time)
+        assert metrics.edp == pytest.approx(energy * time)
+        assert metrics.performance_improvement_over(metrics) == pytest.approx(0.0)
+        assert metrics.power_reduction_vs(metrics) == pytest.approx(0.0)
+
+    @given(scalability=fractions, ratio=st.floats(min_value=0.2, max_value=3.0))
+    @settings(max_examples=80, deadline=None)
+    def test_amdahl_speedup_bounds(self, scalability, ratio):
+        speedup = amdahl_speedup(scalability, ratio)
+        lo, hi = min(1.0, ratio), max(1.0, ratio)
+        assert lo - 1e-9 <= speedup <= hi + 1e-9
+
+
+class TestResidencyProperties:
+    @given(c0=st.floats(min_value=0.01, max_value=0.9), c2=st.floats(min_value=0.0, max_value=0.09))
+    @settings(max_examples=60, deadline=None)
+    def test_residency_partition(self, c0, c2):
+        c8 = 1.0 - c0 - c2
+        profile = CStateResidency({CState.C0: c0, CState.C2: c2, CState.C8: c8})
+        assert profile.active_fraction + profile.idle_fraction == pytest.approx(1.0)
+        assert profile.dram_active_fraction == pytest.approx(c0 + c2)
+
+    @given(
+        c0=st.floats(min_value=0.05, max_value=0.5),
+        new_active=st.floats(min_value=0.05, max_value=0.99),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_scaled_active_still_sums_to_one(self, c0, new_active):
+        profile = CStateResidency({CState.C0: c0, CState.C8: 1.0 - c0})
+        scaled = profile.scaled_active(new_active)
+        assert sum(scaled.residencies.values()) == pytest.approx(1.0)
+
+
+class TestRegulatorProperties:
+    @given(scale=voltscales)
+    @settings(max_examples=60, deadline=None)
+    def test_transition_time_symmetric(self, scale):
+        regulator = VoltageRegulator(rail=RailName.V_SA, nominal_voltage=0.55, min_voltage=0.27)
+        down = regulator.transition_time(0.55 * scale)
+        regulator.set_scale(scale)
+        up = regulator.transition_time(0.55)
+        assert down == pytest.approx(up)
+
+
+class TestActivityVectorProperties:
+    @given(cpu=fractions, gfx=fractions, io=fractions, bandwidth=bandwidths)
+    @settings(max_examples=60, deadline=None)
+    def test_valid_ranges_always_construct(self, cpu, gfx, io, bandwidth):
+        vector = ActivityVector(
+            cpu_activity=cpu, gfx_activity=gfx, io_activity=io, memory_bandwidth=bandwidth
+        )
+        assert vector.memory_bandwidth == bandwidth

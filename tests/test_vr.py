@@ -1,0 +1,114 @@
+"""Tests for voltage regulators and the shared-rail structure."""
+
+import pytest
+
+from repro import config
+from repro.soc.vr import (
+    RailName,
+    RailSet,
+    VoltageRegulator,
+    VoltageRegulatorError,
+    build_default_rails,
+)
+
+
+@pytest.fixture
+def v_sa():
+    return VoltageRegulator(rail=RailName.V_SA, nominal_voltage=0.55, min_voltage=0.44)
+
+
+class TestVoltageRegulator:
+    def test_starts_at_nominal(self, v_sa):
+        assert v_sa.current_voltage == pytest.approx(0.55)
+        assert v_sa.scale == pytest.approx(1.0)
+
+    def test_transition_time_uses_slew_rate(self, v_sa):
+        duration = v_sa.transition_time(0.44)
+        assert duration == pytest.approx(0.11 / config.VR_SLEW_RATE)
+
+    def test_set_voltage_moves_rail(self, v_sa):
+        v_sa.set_voltage(0.44)
+        assert v_sa.current_voltage == pytest.approx(0.44)
+        assert v_sa.scale == pytest.approx(0.8)
+
+    def test_set_scale(self, v_sa):
+        v_sa.set_scale(0.8)
+        assert v_sa.current_voltage == pytest.approx(0.44)
+
+    def test_below_min_voltage_rejected(self, v_sa):
+        with pytest.raises(VoltageRegulatorError):
+            v_sa.set_voltage(0.3)
+
+    def test_overvoltage_rejected(self, v_sa):
+        with pytest.raises(VoltageRegulatorError):
+            v_sa.set_voltage(0.9)
+
+    def test_vddq_is_not_scalable(self):
+        vddq = VoltageRegulator(
+            rail=RailName.VDDQ, nominal_voltage=1.2, min_voltage=1.2, scalable=False
+        )
+        with pytest.raises(VoltageRegulatorError):
+            vddq.set_voltage(1.0)
+
+    def test_reset_restores_nominal(self, v_sa):
+        v_sa.set_scale(0.8)
+        v_sa.reset()
+        assert v_sa.current_voltage == pytest.approx(0.55)
+
+    def test_invalid_construction(self):
+        with pytest.raises(VoltageRegulatorError):
+            VoltageRegulator(rail=RailName.V_SA, nominal_voltage=0.0, min_voltage=0.0)
+        with pytest.raises(VoltageRegulatorError):
+            VoltageRegulator(rail=RailName.V_SA, nominal_voltage=0.5, min_voltage=0.6)
+
+
+class TestRailSet:
+    def test_default_rails_contain_all_five(self):
+        rails = build_default_rails()
+        for rail in RailName:
+            assert rail in rails
+
+    def test_duplicate_rail_rejected(self):
+        rails = RailSet()
+        rails.add(VoltageRegulator(rail=RailName.V_SA, nominal_voltage=0.55, min_voltage=0.44))
+        with pytest.raises(VoltageRegulatorError):
+            rails.add(
+                VoltageRegulator(rail=RailName.V_SA, nominal_voltage=0.55, min_voltage=0.44)
+            )
+
+    def test_parallel_transition_pays_slowest_rail(self):
+        rails = build_default_rails()
+        targets = {
+            RailName.V_SA: rails[RailName.V_SA].nominal_voltage * 0.8,
+            RailName.V_IO: rails[RailName.V_IO].nominal_voltage * 0.85,
+        }
+        expected = max(
+            rails[RailName.V_SA].transition_time(targets[RailName.V_SA]),
+            rails[RailName.V_IO].transition_time(targets[RailName.V_IO]),
+        )
+        assert rails.max_transition_time(targets) == pytest.approx(expected)
+
+    def test_apply_moves_all_rails(self):
+        rails = build_default_rails()
+        targets = {
+            RailName.V_SA: rails[RailName.V_SA].nominal_voltage * 0.8,
+            RailName.V_IO: rails[RailName.V_IO].nominal_voltage * 0.85,
+        }
+        rails.apply(targets)
+        assert rails.scale(RailName.V_SA) == pytest.approx(0.8)
+        assert rails.scale(RailName.V_IO) == pytest.approx(0.85)
+
+    def test_default_swing_fits_2us_budget(self):
+        """Sec. 5 budgets ~2 us of voltage slewing for a ~100 mV swing."""
+        rails = build_default_rails()
+        targets = {
+            RailName.V_SA: rails[RailName.V_SA].nominal_voltage * config.V_SA_LOW_SCALE,
+            RailName.V_IO: rails[RailName.V_IO].nominal_voltage * config.V_IO_LOW_SCALE,
+        }
+        assert rails.max_transition_time(targets) <= 2.5e-6
+
+    def test_reset(self):
+        rails = build_default_rails()
+        rails[RailName.V_SA].set_scale(0.8)
+        rails.reset()
+        assert rails.scale(RailName.V_SA) == pytest.approx(1.0)
