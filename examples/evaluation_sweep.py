@@ -6,10 +6,17 @@ battery-life workloads under the baseline, SysScale, and the projected
 MemScale-Redist / CoScale-Redist comparison points, then prints the per-workload
 rows and the averages next to the numbers the paper reports.
 
+All simulations go through the ``repro.runtime`` executor: ``--jobs N`` fans
+them out over N worker processes, and the content-addressed result cache makes
+warm reruns near-instant (the summary line reports how many simulations were
+served from cache).
+
 Run with::
 
-    python examples/evaluation_sweep.py            # full SPEC suite (slower)
-    python examples/evaluation_sweep.py --quick    # representative SPEC subset
+    python examples/evaluation_sweep.py                # full SPEC suite (slower)
+    python examples/evaluation_sweep.py --quick        # representative SPEC subset
+    python examples/evaluation_sweep.py --jobs 4       # four worker processes
+    python examples/evaluation_sweep.py --no-cache     # always simulate
 """
 
 from __future__ import annotations
@@ -17,18 +24,16 @@ from __future__ import annotations
 import argparse
 
 from repro.experiments import (
+    ExperimentRuntime,
     build_context,
     format_table,
     run_fig7_spec,
     run_fig8_graphics,
     run_fig9_battery_life,
 )
-
-QUICK_SUBSET = (
-    "400.perlbench", "416.gamess", "429.mcf", "433.milc", "436.cactusADM",
-    "444.namd", "445.gobmk", "456.hmmer", "462.libquantum", "470.lbm",
-    "473.astar", "482.sphinx3",
-)
+from repro.runtime import ResultCache, make_executor
+from repro.runtime.cache import default_cache_dir
+from repro.runtime.campaign import QUICK_SPEC_SUBSET as QUICK_SUBSET
 
 PAPER_NUMBERS = {
     "fig7": {"memscale_redist": 0.017, "coscale_redist": 0.038, "sysscale": 0.092},
@@ -43,10 +48,26 @@ PAPER_NUMBERS = {
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true", help="use a 12-benchmark SPEC subset")
+    parser.add_argument(
+        "--jobs", "-j", type=int, default=1, metavar="N",
+        help="worker processes (default 1: serial execution)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=default_cache_dir(), metavar="DIR",
+        help="result cache directory (default .repro-cache, or $REPRO_CACHE_DIR)",
+    )
+    parser.add_argument("--no-cache", action="store_true", help="disable the result cache")
     args = parser.parse_args()
 
+    runtime = ExperimentRuntime(
+        executor=make_executor(args.jobs),
+        cache=None if args.no_cache else ResultCache(args.cache_dir),
+    )
+
     print("Building the experiment context (platform + threshold calibration) ...")
-    context = build_context(workload_duration=0.5 if args.quick else 1.0)
+    context = build_context(
+        workload_duration=0.5 if args.quick else 1.0, runtime=runtime
+    )
 
     # ---- Fig. 7: SPEC CPU2006 ------------------------------------------------
     print("\nRunning the SPEC CPU2006 evaluation (Fig. 7) ...")
@@ -74,6 +95,11 @@ def main() -> None:
     for row in fig9["rows"]:
         paper_value = PAPER_NUMBERS["fig9"][row["workload"]]
         print(f"  {row['workload']:20s} {row['sysscale']:6.1%}   (paper {paper_value:.1%})")
+
+    # ---- Runtime accounting ----------------------------------------------------
+    print(f"\nruntime: {runtime.summary()}")
+    if runtime.cache is not None:
+        print(f"cache: {runtime.cache.root} ({len(runtime.cache)} entries)")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,6 @@
+"""``python -m repro`` entry point (delegates to the runtime CLI)."""
+
+from repro.runtime.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -7,7 +7,12 @@ functions so every table and figure can be regenerated with
 ``pytest benchmarks/ --benchmark-only`` or by running the example scripts.
 """
 
-from repro.experiments.runner import ExperimentContext, build_context, format_table
+from repro.experiments.runner import (
+    ExperimentContext,
+    ExperimentRuntime,
+    build_context,
+    format_table,
+)
 from repro.experiments.table1 import run_table1
 from repro.experiments.table2 import run_table2
 from repro.experiments.fig2 import run_fig2_motivation
@@ -23,6 +28,7 @@ from repro.experiments.sensitivity import run_dram_frequency_sensitivity
 
 __all__ = [
     "ExperimentContext",
+    "ExperimentRuntime",
     "build_context",
     "format_table",
     "run_table1",

@@ -4,8 +4,9 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.baselines.fixed import FixedBaselinePolicy
-from repro.experiments.runner import ExperimentContext, build_context, mean
+from repro.experiments.runner import ExperimentRuntime, mean
+from repro.runtime.jobs import PlatformSpec, PolicySpec, SimSpec, SimulationJob, TraceSpec
+from repro.sim.engine import SimulationConfig
 from repro.workloads.spec2006 import spec_cpu2006_suite
 
 #: TDP points of Fig. 10 (watts).
@@ -16,20 +17,48 @@ def run_fig10_tdp_sensitivity(
     tdp_points: Sequence[float] = DEFAULT_TDP_POINTS,
     subset: Optional[Tuple[str, ...]] = None,
     workload_duration: float = 1.0,
+    runtime: Optional[ExperimentRuntime] = None,
+    sim_config: Optional[SimulationConfig] = None,
 ) -> Dict[str, object]:
     """Reproduce Fig. 10: distribution of SPEC improvements at each TDP.
 
-    A fresh platform (and hence a fresh PBM and threshold calibration) is built
-    per TDP, because every quantity derived from the power budget changes with it.
+    Every (TDP, benchmark, policy) combination is one job: workers rebuild the
+    platform (and hence the PBM and threshold calibration) per TDP, because
+    every quantity derived from the power budget changes with it.  Submitting
+    the whole grid at once lets a parallel runtime spread the heaviest figure
+    of the evaluation across all cores.
     """
-    rows: List[Dict[str, object]] = []
+    if runtime is None:
+        runtime = ExperimentRuntime()
+    sim = SimSpec.from_config(sim_config) if sim_config is not None else SimSpec()
+
+    traces = spec_cpu2006_suite(duration=workload_duration, subset=subset)
+    jobs: List[SimulationJob] = []
     for tdp in tdp_points:
-        context = build_context(tdp=tdp, workload_duration=workload_duration)
-        engine = context.engine
+        platform_spec = PlatformSpec(tdp=tdp)
+        for trace in traces:
+            trace_spec = TraceSpec.make(
+                "spec", name=trace.name, duration=workload_duration
+            )
+            for policy in ("baseline", "sysscale"):
+                jobs.append(
+                    SimulationJob(
+                        trace=trace_spec,
+                        policy=PolicySpec.make(policy),
+                        platform=platform_spec,
+                        sim=sim,
+                    )
+                )
+    results = runtime.simulate(jobs)
+
+    rows: List[Dict[str, object]] = []
+    cursor = 0
+    for tdp in tdp_points:
         improvements: List[float] = []
-        for trace in spec_cpu2006_suite(duration=workload_duration, subset=subset):
-            baseline = engine.run(trace, FixedBaselinePolicy())
-            sysscale = engine.run(trace, context.sysscale())
+        for _ in traces:
+            baseline = results[cursor]
+            sysscale = results[cursor + 1]
+            cursor += 2
             improvements.append(sysscale.performance_improvement_over(baseline))
         ordered = sorted(improvements)
         rows.append(

@@ -26,7 +26,7 @@ from repro.core.demand import DemandPredictor, evaluate_prediction_quality
 from repro.core.operating_points import OperatingPoint, OperatingPointTable
 from repro.core.thresholds import ThresholdCalibrator
 from repro.experiments.runner import ExperimentContext, build_context
-from repro.workloads.corpus import CorpusGenerator, CorpusWorkload
+from repro.runtime.jobs import DegradationMeasurement, PointSpec, TraceSpec
 from repro.workloads.trace import WorkloadClass
 
 #: The three DRAM frequency pairs of Fig. 6 (high, low), in Hz.
@@ -75,9 +75,15 @@ def _pearson(xs: Sequence[float], ys: Sequence[float]) -> float:
     return float(np.corrcoef(x, y)[0, 1])
 
 
+def _pair_point_specs(high: float, low: float) -> Tuple[PointSpec, PointSpec]:
+    """The two :class:`PointSpec` values of one Fig. 6 frequency pair."""
+    points = _operating_points_for_pair(high, low)
+    return PointSpec.from_point(points.high), PointSpec.from_point(points.low)
+
+
 def _evaluate_panel(
     context: ExperimentContext,
-    workloads: Sequence[CorpusWorkload],
+    measurements: Sequence[DegradationMeasurement],
     high: float,
     low: float,
 ) -> Dict[str, object]:
@@ -93,12 +99,10 @@ def _evaluate_panel(
     predicted_perf: List[float] = []
     predictions: List[bool] = []
     ground_truth: List[bool] = []
-    for workload in workloads:
-        trace = workload.trace
-        degradation = calibrator.measure_degradation(trace, points.high, points.low)
+    for measurement in measurements:
+        degradation = measurement.degradation
         actual = 1.0 / (1.0 + degradation)
-        counters = calibrator.measure_counters(trace)
-        prediction = predictor.predict(counters)
+        prediction = predictor.predict(measurement.counters)
         predicted = 1.0 / (1.0 + bound) if prediction.low_point_safe else 1.0 / (1.0 + degradation)
         actual_perf.append(actual)
         predicted_perf.append(predicted)
@@ -109,7 +113,7 @@ def _evaluate_panel(
     return {
         "high_ghz": high / config.GHZ,
         "low_ghz": low / config.GHZ,
-        "workloads": len(workloads),
+        "workloads": len(measurements),
         "correlation": _pearson(actual_perf, predicted_perf),
         "accuracy": quality.accuracy,
         "false_positives": quality.false_positives,
@@ -124,7 +128,18 @@ def run_fig6_prediction(
     workloads_per_class: Optional[Dict[WorkloadClass, int]] = None,
     seed: int = config.DEFAULT_SEED + 7,
 ) -> Dict[str, object]:
-    """Reproduce the nine panels of Fig. 6 on a synthetic evaluation corpus."""
+    """Reproduce the nine panels of Fig. 6 on a synthetic evaluation corpus.
+
+    The per-workload measurements (slowdown at the low point plus high-point
+    counters) are submitted as one batch of degradation jobs through the
+    context's runtime, so the ~1600-point evaluation parallelizes and caches;
+    the per-panel threshold calibration and prediction scoring stay local.
+
+    The corpus a job references is addressed by the *sequence* of
+    ``generate_class`` calls made on one generator (the generator's RNG
+    advances per call), which the trace specs encode in their ``calls``
+    parameter so workers replay the exact corpora built here.
+    """
     if context is None:
         context = build_context()
     if workloads_per_class is None:
@@ -133,19 +148,40 @@ def run_fig6_prediction(
             WorkloadClass.CPU_MULTI_THREAD: 140,
             WorkloadClass.GRAPHICS: 110,
         }
-    generator = CorpusGenerator(seed=seed)
+
+    calls = tuple(
+        f"{workload_class.value}:{workloads_per_class[workload_class]}"
+        for workload_class in WORKLOAD_CLASSES
+    )
+    jobs = []
+    for call_index, workload_class in enumerate(WORKLOAD_CLASSES):
+        count = workloads_per_class[workload_class]
+        for high, low in FREQUENCY_PAIRS:
+            high_spec, low_spec = _pair_point_specs(high, low)
+            for index in range(count):
+                trace_spec = TraceSpec.make(
+                    "corpus",
+                    seed=seed,
+                    duration=1.0,
+                    calls=calls,
+                    call=call_index,
+                    index=index,
+                )
+                jobs.append(context.degradation_job(trace_spec, high_spec, low_spec))
+    measurements = context.runtime.measure(jobs)
 
     panels: List[Dict[str, object]] = []
     total_workloads = 0
+    cursor = 0
     for workload_class in WORKLOAD_CLASSES:
-        corpus = generator.generate_class(
-            workload_class, workloads_per_class[workload_class]
-        )
+        count = workloads_per_class[workload_class]
         for high, low in FREQUENCY_PAIRS:
-            panel = _evaluate_panel(context, corpus, high, low)
+            panel_measurements = measurements[cursor : cursor + count]
+            cursor += count
+            panel = _evaluate_panel(context, panel_measurements, high, low)
             panel["workload_class"] = workload_class.value
             panels.append(panel)
-            total_workloads += len(corpus)
+            total_workloads += count
 
     accuracies = [panel["accuracy"] for panel in panels]
     return {

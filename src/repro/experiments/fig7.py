@@ -5,9 +5,9 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from repro.baselines.coscale import CoScaleRedistProjection
-from repro.baselines.fixed import FixedBaselinePolicy
 from repro.baselines.memscale import MemScaleRedistProjection
 from repro.experiments.runner import ExperimentContext, build_context, mean
+from repro.runtime.jobs import PolicySpec, TraceSpec
 from repro.workloads.spec2006 import spec_cpu2006_suite
 
 
@@ -17,19 +17,27 @@ def run_fig7_spec(
 ) -> Dict[str, object]:
     """Reproduce Fig. 7: per-benchmark and average performance improvements.
 
-    SysScale and the baseline are simulated; MemScale-Redist and CoScale-Redist are
-    projected with the Sec. 6 methodology, exactly as in the paper.
+    SysScale and the baseline are simulated (through the context's runtime, so
+    the per-benchmark pairs parallelize and cache); MemScale-Redist and
+    CoScale-Redist are projected with the Sec. 6 methodology, exactly as in the
+    paper.
     """
     if context is None:
         context = build_context()
-    engine = context.engine
     memscale = MemScaleRedistProjection(platform=context.platform)
     coscale = CoScaleRedistProjection(platform=context.platform)
 
+    traces = spec_cpu2006_suite(duration=context.workload_duration, subset=subset)
+    pairs = context.simulate_policy_matrix(
+        [
+            TraceSpec.make("spec", name=trace.name, duration=context.workload_duration)
+            for trace in traces
+        ],
+        (PolicySpec.make("baseline"), PolicySpec.make("sysscale")),
+    )
+
     rows: List[Dict[str, object]] = []
-    for trace in spec_cpu2006_suite(duration=context.workload_duration, subset=subset):
-        baseline = engine.run(trace, FixedBaselinePolicy())
-        sysscale = engine.run(trace, context.sysscale())
+    for trace, (baseline, sysscale) in zip(traces, pairs):
         rows.append(
             {
                 "workload": trace.name,

@@ -5,9 +5,9 @@ from __future__ import annotations
 from typing import Dict, List
 
 from repro.baselines.coscale import CoScaleRedistProjection
-from repro.baselines.fixed import FixedBaselinePolicy
 from repro.baselines.memscale import MemScaleRedistProjection
 from repro.experiments.runner import ExperimentContext, build_context, mean
+from repro.runtime.jobs import PolicySpec, TraceSpec
 from repro.workloads.graphics import graphics_suite
 
 
@@ -15,14 +15,17 @@ def run_fig8_graphics(context: ExperimentContext | None = None) -> Dict[str, obj
     """Reproduce Fig. 8: per-benchmark improvements on the three 3DMark variants."""
     if context is None:
         context = build_context()
-    engine = context.engine
     memscale = MemScaleRedistProjection(platform=context.platform)
     coscale = CoScaleRedistProjection(platform=context.platform)
 
+    traces = graphics_suite()
+    pairs = context.simulate_policy_matrix(
+        [TraceSpec.make("graphics", name=trace.name) for trace in traces],
+        (PolicySpec.make("baseline"), PolicySpec.make("sysscale")),
+    )
+
     rows: List[Dict[str, object]] = []
-    for trace in graphics_suite():
-        baseline = engine.run(trace, FixedBaselinePolicy())
-        sysscale = engine.run(trace, context.sysscale())
+    for trace, (baseline, sysscale) in zip(traces, pairs):
         rows.append(
             {
                 "workload": trace.name,

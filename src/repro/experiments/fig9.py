@@ -5,11 +5,10 @@ from __future__ import annotations
 from typing import Dict, List
 
 from repro.baselines.coscale import CoScaleRedistProjection
-from repro.baselines.fixed import FixedBaselinePolicy
 from repro.baselines.memscale import MemScaleRedistProjection
 from repro.experiments.runner import ExperimentContext, build_context, mean
+from repro.runtime.jobs import PolicySpec, TraceSpec
 from repro.workloads.batterylife import battery_life_suite
-from repro.workloads.io_devices import STANDARD_CONFIGURATIONS
 
 
 def run_fig9_battery_life(
@@ -19,15 +18,18 @@ def run_fig9_battery_life(
     """Reproduce Fig. 9: average-power reduction with a single HD panel active."""
     if context is None:
         context = build_context()
-    engine = context.engine
-    peripherals = STANDARD_CONFIGURATIONS[peripheral_configuration]
     memscale = MemScaleRedistProjection(platform=context.platform)
     coscale = CoScaleRedistProjection(platform=context.platform)
 
+    traces = battery_life_suite()
+    pairs = context.simulate_policy_matrix(
+        [TraceSpec.make("battery_life", name=trace.name) for trace in traces],
+        (PolicySpec.make("baseline"), PolicySpec.make("sysscale")),
+        peripherals=peripheral_configuration,
+    )
+
     rows: List[Dict[str, object]] = []
-    for trace in battery_life_suite():
-        baseline = engine.run(trace, FixedBaselinePolicy(), peripherals=peripherals)
-        sysscale = engine.run(trace, context.sysscale(), peripherals=peripherals)
+    for trace, (baseline, sysscale) in zip(traces, pairs):
         rows.append(
             {
                 "workload": trace.name,

@@ -1,4 +1,13 @@
-"""Shared experiment plumbing: platform/engine construction and table formatting."""
+"""Shared experiment plumbing: context construction, the runtime bridge, and
+table formatting.
+
+Experiments no longer loop ``SimulationEngine.run`` themselves: they build
+declarative jobs (``repro.runtime.jobs``) and submit them through the context's
+:class:`ExperimentRuntime`, which deduplicates, consults the content-addressed
+result cache, and optionally fans the work out over a process pool.  The
+default runtime (serial, no cache) reproduces the old in-process behaviour
+exactly, so calling any ``run_*`` function with no arguments still works.
+"""
 
 from __future__ import annotations
 
@@ -9,13 +18,75 @@ from repro import config
 from repro.core.operating_points import OperatingPointTable, build_default_operating_points
 from repro.core.sysscale import SysScaleController, default_thresholds
 from repro.core.thresholds import CounterThresholds
+from repro.runtime.cache import ResultCache
+from repro.runtime.executor import (
+    ExecutionReport,
+    Executor,
+    ProgressCallback,
+    SerialExecutor,
+)
+from repro.runtime.jobs import (
+    DegradationJob,
+    DegradationMeasurement,
+    Job,
+    PlatformSpec,
+    PolicySpec,
+    SimSpec,
+    SimulationJob,
+    TraceSpec,
+)
 from repro.sim.engine import SimulationConfig, SimulationEngine
 from repro.sim.platform import Platform, build_platform
+from repro.sim.result import SimulationResult
+
+
+@dataclass
+class ExperimentRuntime:
+    """The execution backend experiments submit their jobs through.
+
+    Wraps one executor and (optionally) one result cache, and accumulates
+    accounting across every submission so a CLI invocation can report how much
+    work an entire figure -- or a whole list of targets -- actually simulated
+    versus served from cache.
+    """
+
+    executor: Executor = field(default_factory=SerialExecutor)
+    cache: Optional[ResultCache] = None
+    progress: Optional[ProgressCallback] = None
+    submitted: int = 0
+    unique: int = 0
+    executed: int = 0
+    cache_hits: int = 0
+
+    def run_jobs(self, jobs: Sequence[Job]) -> ExecutionReport:
+        """Execute ``jobs`` and fold the report into the running totals."""
+        report = self.executor.run(jobs, cache=self.cache, progress=self.progress)
+        self.submitted += report.submitted
+        self.unique += report.unique_jobs
+        self.executed += report.executed
+        self.cache_hits += report.cache_hits
+        return report
+
+    def simulate(self, jobs: Sequence[SimulationJob]) -> List[SimulationResult]:
+        """Run simulation jobs and decode the results in submission order."""
+        return self.run_jobs(jobs).results()
+
+    def measure(self, jobs: Sequence[DegradationJob]) -> List[DegradationMeasurement]:
+        """Run degradation jobs and decode the measurements in submission order."""
+        return self.run_jobs(jobs).results()
+
+    def summary(self) -> str:
+        """One-line accounting across every submission so far."""
+        return (
+            f"{self.submitted} job(s) submitted, {self.unique} unique, "
+            f"{self.executed} simulated, {self.cache_hits} cache hit(s)"
+        )
 
 
 @dataclass
 class ExperimentContext:
-    """Everything an experiment needs: platform, engine, thresholds, operating points.
+    """Everything an experiment needs: platform, engine, thresholds, operating
+    points, and the runtime its jobs are submitted through.
 
     Building the context once and sharing it across experiments avoids repeating
     the threshold calibration (the paper's offline procedure) for every figure.
@@ -26,6 +97,10 @@ class ExperimentContext:
     thresholds: CounterThresholds
     operating_points: OperatingPointTable
     workload_duration: float = 1.0
+    runtime: ExperimentRuntime = field(default_factory=ExperimentRuntime)
+    _verified_platform_spec: Optional[PlatformSpec] = field(
+        default=None, init=False, repr=False
+    )
 
     def sysscale(self) -> SysScaleController:
         """A fresh SysScale controller bound to this context's platform."""
@@ -35,11 +110,101 @@ class ExperimentContext:
             thresholds=self.thresholds,
         )
 
+    # ------------------------------------------------------------------
+    # Job construction
+    # ------------------------------------------------------------------
+    def platform_spec(self) -> PlatformSpec:
+        """The declarative spec matching this context's platform.
+
+        A :class:`PlatformSpec` can only express what ``build_platform``'s
+        knobs express (TDP, DRAM family, fixed power).  If this context wraps
+        a customized platform -- a hand-built SoC, modified DRAM timings --
+        jobs built from the spec would silently simulate different hardware,
+        so the first call verifies the spec reproduces this platform and
+        raises if it cannot.
+        """
+        spec = PlatformSpec(
+            tdp=self.platform.tdp,
+            dram=self.platform.dram.technology.value,
+            platform_fixed_power=self.platform.soc_power.platform_fixed_power,
+        )
+        if self._verified_platform_spec != spec:
+            # describe() reports live state too (DRAM frequency, self-refresh)
+            # which a previous direct engine run may have left at the low
+            # operating point; compare boot states so only *configuration*
+            # differences are flagged.
+            self.platform.reset_to_boot()
+            if spec.build().describe() != self.platform.describe():
+                raise ValueError(
+                    "this context's platform cannot be expressed as a "
+                    "PlatformSpec (customized SoC or DRAM device?); runtime "
+                    "jobs would simulate different hardware"
+                )
+            self._verified_platform_spec = spec
+        return spec
+
+    def sim_spec(self) -> SimSpec:
+        """The declarative spec matching this context's engine configuration."""
+        return SimSpec.from_config(self.engine.config)
+
+    def simulation_job(
+        self,
+        trace: TraceSpec,
+        policy: PolicySpec,
+        peripherals: Optional[str] = None,
+    ) -> SimulationJob:
+        """A simulation job on this context's platform and engine configuration."""
+        return SimulationJob(
+            trace=trace,
+            policy=policy,
+            platform=self.platform_spec(),
+            sim=self.sim_spec(),
+            peripherals=peripherals,
+        )
+
+    def simulate_policy_matrix(
+        self,
+        traces: Sequence[TraceSpec],
+        policies: Sequence[PolicySpec],
+        peripherals: Optional[str] = None,
+    ) -> List[tuple]:
+        """Simulate every trace under every policy; one result tuple per trace.
+
+        Keeps the submit-order/read-order pairing in one place: figures that
+        compare policies per workload (Figs. 7-9) get ``(baseline, sysscale,
+        ...)`` tuples aligned with ``traces`` instead of hand-indexing a flat
+        result list.
+        """
+        jobs = [
+            self.simulation_job(trace, policy, peripherals=peripherals)
+            for trace in traces
+            for policy in policies
+        ]
+        results = self.runtime.simulate(jobs)
+        width = len(policies)
+        return [
+            tuple(results[index * width : (index + 1) * width])
+            for index in range(len(traces))
+        ]
+
+    def degradation_job(self, trace: TraceSpec, high, low) -> DegradationJob:
+        """A degradation measurement between two operating points (specs or points)."""
+        from repro.runtime.jobs import PointSpec
+
+        if not isinstance(high, PointSpec):
+            high = PointSpec.from_point(high)
+        if not isinstance(low, PointSpec):
+            low = PointSpec.from_point(low)
+        return DegradationJob(
+            trace=trace, high=high, low=low, platform=self.platform_spec()
+        )
+
 
 def build_context(
     tdp: float = config.SKYLAKE_DEFAULT_TDP,
     workload_duration: float = 1.0,
     sim_config: Optional[SimulationConfig] = None,
+    runtime: Optional[ExperimentRuntime] = None,
 ) -> ExperimentContext:
     """Build the default experiment context (Skylake M-6Y75, Table 2)."""
     platform = build_platform(tdp=tdp)
@@ -52,6 +217,7 @@ def build_context(
         thresholds=thresholds,
         operating_points=operating_points,
         workload_duration=workload_duration,
+        runtime=runtime or ExperimentRuntime(),
     )
 
 

@@ -18,11 +18,10 @@ from repro.core.operating_points import (
     build_ddr4_operating_points,
     build_default_operating_points,
 )
-from repro.core.thresholds import ThresholdCalibrator
 from repro.experiments.runner import ExperimentContext, build_context
 from repro.memory.dram import ddr4_device
+from repro.runtime.jobs import PointSpec, TraceSpec
 from repro.sim.platform import build_platform
-from repro.workloads.corpus import CorpusGenerator
 from repro.workloads.trace import WorkloadClass
 
 
@@ -59,24 +58,29 @@ def run_dram_frequency_sensitivity(
         - three_points.low.provisioned_io_memory_power(lpddr3_platform)
     )
 
-    calibrator = ThresholdCalibrator(
-        platform=lpddr3_platform, operating_points=lpddr3_points
+    # Per-workload degradations are measured through the runtime: one
+    # degradation job per (workload, frequency pair), deduplicated and cached
+    # like any other sweep.  The trace specs encode the single
+    # ``generate_class`` call that builds the corpus so workers replay it.
+    calls = (f"{WorkloadClass.CPU_SINGLE_THREAD.value}:{corpus_size}",)
+    pair_106 = (
+        PointSpec.from_point(lpddr3_points.high),
+        PointSpec.from_point(lpddr3_points.low),
     )
-    generator = CorpusGenerator(seed=seed)
-    corpus = generator.generate_class(WorkloadClass.CPU_SINGLE_THREAD, corpus_size)
-    degradation_106 = []
-    degradation_08 = []
-    for workload in corpus:
-        degradation_106.append(
-            calibrator.measure_degradation(
-                workload.trace, lpddr3_points.high, lpddr3_points.low
-            )
+    pair_08 = (
+        PointSpec.from_point(three_points.high),
+        PointSpec.from_point(three_points.low),
+    )
+    jobs = []
+    for index in range(corpus_size):
+        trace_spec = TraceSpec.make(
+            "corpus", seed=seed, duration=1.0, calls=calls, call=0, index=index
         )
-        degradation_08.append(
-            calibrator.measure_degradation(
-                workload.trace, three_points.high, three_points.low
-            )
-        )
+        jobs.append(context.degradation_job(trace_spec, *pair_106))
+        jobs.append(context.degradation_job(trace_spec, *pair_08))
+    measurements = context.runtime.measure(jobs)
+    degradation_106 = [m.degradation for m in measurements[0::2]]
+    degradation_08 = [m.degradation for m in measurements[1::2]]
     mean_106 = sum(degradation_106) / len(degradation_106)
     mean_08 = sum(degradation_08) / len(degradation_08)
 

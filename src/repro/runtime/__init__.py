@@ -1,0 +1,68 @@
+"""Parallel experiment executor with content-addressed result caching.
+
+The runtime turns the reproduction's simulation sweeps into declarative jobs:
+
+* :mod:`repro.runtime.jobs` -- frozen job specs (trace x policy x platform x
+  engine config) with deterministic content hashes;
+* :mod:`repro.runtime.cache` -- an on-disk JSON result store keyed by job hash;
+* :mod:`repro.runtime.executor` -- a serial executor and a process-pool
+  executor that rebuild platforms per worker and report per-job progress;
+* :mod:`repro.runtime.campaign` -- declarative sweep grids (workload x policy
+  x TDP x DRAM device), deduplicated before submission;
+* :mod:`repro.runtime.cli` -- the ``python -m repro`` command line.
+"""
+
+from repro.runtime.cache import CacheStats, ResultCache, default_cache_dir
+from repro.runtime.campaign import CAMPAIGNS, Campaign, build_grid_campaign, dedupe_jobs
+from repro.runtime.executor import (
+    ExecutionReport,
+    Executor,
+    JobOutcome,
+    ParallelExecutor,
+    ProgressUpdate,
+    SerialExecutor,
+    make_executor,
+)
+from repro.runtime.jobs import (
+    DegradationJob,
+    DegradationMeasurement,
+    Job,
+    PlatformSpec,
+    PointSpec,
+    PolicySpec,
+    SimSpec,
+    SimulationJob,
+    TraceSpec,
+    decode_result,
+    execute_job,
+    job_from_dict,
+)
+
+__all__ = [
+    "CAMPAIGNS",
+    "CacheStats",
+    "Campaign",
+    "DegradationJob",
+    "DegradationMeasurement",
+    "ExecutionReport",
+    "Executor",
+    "Job",
+    "JobOutcome",
+    "ParallelExecutor",
+    "PlatformSpec",
+    "PointSpec",
+    "PolicySpec",
+    "ProgressUpdate",
+    "ResultCache",
+    "SerialExecutor",
+    "SimSpec",
+    "SimulationJob",
+    "TraceSpec",
+    "build_grid_campaign",
+    "decode_result",
+    "dedupe_jobs",
+    "default_cache_dir",
+    "execute_job",
+    "job_from_dict",
+    "make_executor",
+]

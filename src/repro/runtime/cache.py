@@ -1,0 +1,148 @@
+"""On-disk, content-addressed result store.
+
+Every entry is one JSON file named by the job's content hash (sharded into
+two-character prefix directories so large campaigns do not pile tens of
+thousands of files into one directory).  The file records the full job spec
+next to the result payload, so a cache entry is self-describing: it can be
+audited, replayed, or garbage-collected without any external index.
+
+Writes are atomic (write to a temp file in the same directory, then
+``os.replace``) so a killed run never leaves a truncated entry behind, and
+concurrent runs sharing a cache directory at worst do redundant work -- they
+can never corrupt each other's entries.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterator, Optional
+
+from repro.runtime.jobs import SCHEMA_VERSION, Job
+
+#: Environment variable overriding the default cache location.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Default cache directory (relative to the working directory).
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def default_cache_dir() -> Path:
+    """The cache directory the CLI and examples use by default."""
+    return Path(os.environ.get(CACHE_DIR_ENV, DEFAULT_CACHE_DIR))
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/write counters for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "writes": self.writes}
+
+
+@dataclass
+class ResultCache:
+    """Content-addressed job-result store rooted at ``root``."""
+
+    root: Path
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root)
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+    def path_for(self, job_hash: str) -> Path:
+        """The entry file for a job hash."""
+        if len(job_hash) < 3:
+            raise ValueError(f"job hash {job_hash!r} is too short")
+        return self.root / job_hash[:2] / f"{job_hash}.json"
+
+    # ------------------------------------------------------------------
+    # Lookup / store
+    # ------------------------------------------------------------------
+    def get(self, job: Job) -> Optional[Dict[str, Any]]:
+        """The cached result payload for ``job``, or ``None`` on a miss.
+
+        Entries written under a different schema version, or unreadable files,
+        count as misses (the entry will simply be recomputed and rewritten).
+        """
+        path = self.path_for(job.content_hash)
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+        except (OSError, ValueError):
+            # OSError covers missing/unreadable files; ValueError covers both
+            # json.JSONDecodeError and UnicodeDecodeError from corrupt bytes.
+            self.stats.misses += 1
+            return None
+        if not isinstance(entry, dict) or entry.get("schema") != SCHEMA_VERSION or "result" not in entry:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return entry["result"]
+
+    def put(self, job: Job, payload: Dict[str, Any]) -> Path:
+        """Store ``payload`` for ``job`` atomically; returns the entry path."""
+        job_hash = job.content_hash
+        path = self.path_for(job_hash)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "schema": SCHEMA_VERSION,
+            "hash": job_hash,
+            "job": job.to_dict(),
+            "result": payload,
+        }
+        descriptor, temp_name = tempfile.mkstemp(
+            prefix=f".{job_hash[:8]}-", suffix=".tmp", dir=path.parent
+        )
+        try:
+            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+                json.dump(entry, handle)
+            os.replace(temp_name, path)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+        self.stats.writes += 1
+        return path
+
+    def contains(self, job: Job) -> bool:
+        """True when an entry for ``job`` exists (does not touch the stats)."""
+        return self.path_for(job.content_hash).is_file()
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def iter_entries(self) -> Iterator[Path]:
+        """All entry files currently in the store."""
+        if not self.root.is_dir():
+            return
+        for shard in sorted(self.root.iterdir()):
+            if shard.is_dir() and len(shard.name) == 2:
+                yield from sorted(shard.glob("*.json"))
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.iter_entries())
+
+    def size_bytes(self) -> int:
+        """Total on-disk size of all entries."""
+        return sum(path.stat().st_size for path in self.iter_entries())
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number of entries removed."""
+        removed = 0
+        for path in list(self.iter_entries()):
+            path.unlink()
+            removed += 1
+        return removed

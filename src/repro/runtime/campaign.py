@@ -1,0 +1,184 @@
+"""Declarative sweep campaigns: grids of simulation jobs, deduplicated.
+
+A campaign is a named, ordered, duplicate-free collection of jobs.  The grid
+builder crosses workloads x policies x TDPs x DRAM devices -- the axes every
+scaling study in the paper varies -- and drops jobs whose content hash has
+already been seen, so overlapping campaigns (or a figure re-listing a workload
+under a second axis) never submit redundant work.
+
+The named campaigns registered in :data:`CAMPAIGNS` back the ``python -m repro
+run <campaign>`` CLI targets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro import config
+from repro.runtime.jobs import (
+    Job,
+    PlatformSpec,
+    PolicySpec,
+    SimSpec,
+    SimulationJob,
+    TraceSpec,
+)
+from repro.workloads.batterylife import BATTERY_LIFE_WORKLOADS
+from repro.workloads.graphics import GRAPHICS_BENCHMARKS
+from repro.workloads.spec2006 import SPEC_CPU2006
+
+
+@dataclass(frozen=True)
+class Campaign:
+    """A named, deduplicated batch of jobs."""
+
+    name: str
+    jobs: Tuple[Job, ...]
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        hashes = [job.content_hash for job in self.jobs]
+        if len(set(hashes)) != len(hashes):
+            raise ValueError(f"campaign {self.name!r} contains duplicate jobs")
+
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+    def with_sim(self, sim: SimSpec) -> "Campaign":
+        """A copy whose simulation jobs all use ``sim`` (for capped smoke runs)."""
+        jobs = tuple(
+            replace(job, sim=sim) if isinstance(job, SimulationJob) else job
+            for job in self.jobs
+        )
+        return Campaign(name=self.name, jobs=dedupe_jobs(jobs), description=self.description)
+
+
+def dedupe_jobs(jobs: Iterable[Job]) -> Tuple[Job, ...]:
+    """Drop jobs with an already-seen content hash, preserving order."""
+    seen = set()
+    unique: List[Job] = []
+    for job in jobs:
+        job_hash = job.content_hash
+        if job_hash not in seen:
+            seen.add(job_hash)
+            unique.append(job)
+    return tuple(unique)
+
+
+def build_grid_campaign(
+    name: str,
+    traces: Sequence[TraceSpec],
+    policies: Sequence[PolicySpec],
+    tdps: Sequence[float] = (config.SKYLAKE_DEFAULT_TDP,),
+    drams: Sequence[str] = ("lpddr3",),
+    sim: SimSpec = SimSpec(),
+    peripherals: Optional[str] = None,
+    description: str = "",
+) -> Campaign:
+    """Cross workloads x policies x TDPs x DRAM devices into one campaign."""
+    jobs: List[Job] = []
+    for dram in drams:
+        for tdp in tdps:
+            platform = PlatformSpec(tdp=tdp, dram=dram)
+            for trace in traces:
+                for policy in policies:
+                    jobs.append(
+                        SimulationJob(
+                            trace=trace,
+                            policy=policy,
+                            platform=platform,
+                            sim=sim,
+                            peripherals=peripherals,
+                        )
+                    )
+    return Campaign(name=name, jobs=dedupe_jobs(jobs), description=description)
+
+
+# ---------------------------------------------------------------------------
+# Named campaigns (CLI targets)
+# ---------------------------------------------------------------------------
+
+#: Representative SPEC subset for ``--quick`` runs (also used by the
+#: evaluation-sweep example).
+QUICK_SPEC_SUBSET: Tuple[str, ...] = (
+    "400.perlbench", "416.gamess", "429.mcf", "433.milc", "436.cactusADM",
+    "444.namd", "445.gobmk", "456.hmmer", "462.libquantum", "470.lbm",
+    "473.astar", "482.sphinx3",
+)
+
+#: Default workload duration (seconds) for campaign traces.
+CAMPAIGN_SPEC_DURATION = 1.0
+
+BOTH_POLICIES = (PolicySpec.make("baseline"), PolicySpec.make("sysscale"))
+
+
+def _spec_traces(quick: bool, duration: float = CAMPAIGN_SPEC_DURATION) -> List[TraceSpec]:
+    names = QUICK_SPEC_SUBSET if quick else tuple(sorted(SPEC_CPU2006))
+    return [TraceSpec.make("spec", name=name, duration=duration) for name in names]
+
+
+def spec_tdp_campaign(quick: bool = False) -> Campaign:
+    """SPEC x {baseline, SysScale} x the Table 2 TDP range (Fig. 10's grid)."""
+    return build_grid_campaign(
+        name="spec-tdp",
+        traces=_spec_traces(quick),
+        policies=BOTH_POLICIES,
+        tdps=(config.SKYLAKE_TDP_RANGE[0], config.SKYLAKE_DEFAULT_TDP, config.SKYLAKE_TDP_RANGE[1]),
+        description="SPEC CPU2006 x {baseline, SysScale} x {3.5, 4.5, 7.0} W",
+    )
+
+
+def evaluation_campaign(quick: bool = False) -> Campaign:
+    """The paper's headline evaluation: SPEC + 3DMark + battery life (Figs. 7-9)."""
+    jobs: List[Job] = []
+    for trace in _spec_traces(quick):
+        for policy in BOTH_POLICIES:
+            jobs.append(SimulationJob(trace=trace, policy=policy))
+    for name in sorted(GRAPHICS_BENCHMARKS):
+        for policy in BOTH_POLICIES:
+            jobs.append(
+                SimulationJob(trace=TraceSpec.make("graphics", name=name), policy=policy)
+            )
+    for name in sorted(BATTERY_LIFE_WORKLOADS):
+        for policy in BOTH_POLICIES:
+            jobs.append(
+                SimulationJob(
+                    trace=TraceSpec.make("battery_life", name=name),
+                    policy=policy,
+                    peripherals="single_hd",
+                )
+            )
+    return Campaign(
+        name="evaluation",
+        jobs=dedupe_jobs(jobs),
+        description="SPEC + 3DMark + battery-life workloads under baseline and SysScale",
+    )
+
+
+def dram_device_campaign(quick: bool = False) -> Campaign:
+    """SPEC x {baseline, SysScale} on LPDDR3 and DDR4 platforms (Sec. 7.4)."""
+    traces = _spec_traces(quick)
+    jobs: List[Job] = []
+    for dram in ("lpddr3", "ddr4"):
+        platform = PlatformSpec(dram=dram)
+        policies = (
+            PolicySpec.make("baseline"),
+            PolicySpec.make("sysscale", operating_points="default" if dram == "lpddr3" else "ddr4"),
+        )
+        for trace in traces:
+            for policy in policies:
+                jobs.append(SimulationJob(trace=trace, policy=policy, platform=platform))
+    return Campaign(
+        name="dram-device",
+        jobs=dedupe_jobs(jobs),
+        description="SPEC under baseline and SysScale on LPDDR3 vs. DDR4 platforms",
+    )
+
+
+#: Campaigns runnable by name from the CLI; each factory takes ``quick``.
+CAMPAIGNS: Dict[str, Callable[[bool], Campaign]] = {
+    "spec-tdp": spec_tdp_campaign,
+    "evaluation": evaluation_campaign,
+    "dram-device": dram_device_campaign,
+}

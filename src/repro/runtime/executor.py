@@ -1,0 +1,257 @@
+"""Serial and process-parallel job executors.
+
+Both executors share one contract: take a sequence of jobs (duplicates
+allowed), consult the cache, execute only the unique misses, and return an
+:class:`ExecutionReport` whose outcomes line up with the submitted order.
+Deduplication happens *before* execution, so a campaign that names the same
+(platform, policy, trace) combination dozens of times simulates it once.
+
+:class:`ParallelExecutor` fans the misses out over a ``ProcessPoolExecutor``.
+Worker processes rebuild their own platforms from the job specs (see
+``repro.runtime.jobs.platform_for``): the simulation engine mutates live MRC
+register state while running, so a platform object must never be shared by two
+concurrent runs.  Serial and parallel execution funnel through the same
+``execute_job`` function, which is what makes their results bit-identical.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.runtime.cache import ResultCache
+from repro.runtime.jobs import Job, decode_result, execute_job
+
+
+@dataclass(frozen=True)
+class ProgressUpdate:
+    """One per-job progress event (cache hits report instantly)."""
+
+    label: str
+    job_hash: str
+    from_cache: bool
+    completed: int
+    total: int
+    elapsed: float
+
+
+ProgressCallback = Callable[[ProgressUpdate], None]
+
+
+@dataclass(frozen=True)
+class JobOutcome:
+    """One submitted job with its payload and provenance."""
+
+    job: Job
+    payload: Dict[str, Any]
+    from_cache: bool
+
+    @property
+    def result(self):
+        """The payload decoded into its natural result object."""
+        return decode_result(self.job, self.payload)
+
+
+@dataclass
+class ExecutionReport:
+    """What one executor call did: outcomes plus dedup/cache accounting."""
+
+    outcomes: List[JobOutcome]
+    unique_jobs: int
+    cache_hits: int
+    executed: int
+    elapsed: float
+
+    @property
+    def submitted(self) -> int:
+        """Jobs submitted, before deduplication."""
+        return len(self.outcomes)
+
+    def results(self) -> List[Any]:
+        """Decoded results, aligned with the submitted job order."""
+        return [outcome.result for outcome in self.outcomes]
+
+    def payloads(self) -> List[Dict[str, Any]]:
+        """Raw payloads, aligned with the submitted job order."""
+        return [outcome.payload for outcome in self.outcomes]
+
+    def summary(self) -> str:
+        """One-line accounting string for logs and the CLI."""
+        return (
+            f"{self.submitted} job(s) submitted, {self.unique_jobs} unique, "
+            f"{self.executed} simulated, {self.cache_hits} cache hit(s) "
+            f"in {self.elapsed:.2f}s"
+        )
+
+
+class Executor:
+    """Common dedup-then-execute plumbing; subclasses provide ``_execute_many``."""
+
+    def run(
+        self,
+        jobs: Sequence[Job],
+        cache: Optional[ResultCache] = None,
+        progress: Optional[ProgressCallback] = None,
+    ) -> ExecutionReport:
+        """Execute ``jobs`` (deduplicated) and return the full report."""
+        jobs = list(jobs)
+        started = time.perf_counter()
+
+        unique: Dict[str, Job] = {}
+        for job in jobs:
+            unique.setdefault(job.content_hash, job)
+
+        resolved: Dict[str, Dict[str, Any]] = {}
+        hit_hashes = set()
+        if cache is not None:
+            for job_hash, job in unique.items():
+                payload = cache.get(job)
+                if payload is not None:
+                    resolved[job_hash] = payload
+                    hit_hashes.add(job_hash)
+
+        pending = [job for job_hash, job in unique.items() if job_hash not in resolved]
+        total = len(unique)
+
+        if progress is not None:
+            ordered_hits = [h for h in unique if h in hit_hashes]
+            for completed, job_hash in enumerate(ordered_hits, start=1):
+                job = unique[job_hash]
+                progress(
+                    ProgressUpdate(
+                        label=job.label,
+                        job_hash=job_hash,
+                        from_cache=True,
+                        completed=completed,
+                        total=total,
+                        elapsed=time.perf_counter() - started,
+                    )
+                )
+
+        def on_executed(job: Job, payload: Dict[str, Any]) -> None:
+            job_hash = job.content_hash
+            resolved[job_hash] = payload
+            if cache is not None:
+                cache.put(job, payload)
+            if progress is not None:
+                progress(
+                    ProgressUpdate(
+                        label=job.label,
+                        job_hash=job_hash,
+                        from_cache=False,
+                        completed=len(resolved),
+                        total=total,
+                        elapsed=time.perf_counter() - started,
+                    )
+                )
+
+        if pending:
+            self._execute_many(pending, on_executed)
+
+        outcomes = [
+            JobOutcome(
+                job=job,
+                payload=resolved[job.content_hash],
+                from_cache=job.content_hash in hit_hashes,
+            )
+            for job in jobs
+        ]
+        return ExecutionReport(
+            outcomes=outcomes,
+            unique_jobs=total,
+            cache_hits=len(hit_hashes),
+            executed=len(pending),
+            elapsed=time.perf_counter() - started,
+        )
+
+    def _execute_many(
+        self,
+        jobs: List[Job],
+        on_executed: Callable[[Job, Dict[str, Any]], None],
+    ) -> None:
+        raise NotImplementedError
+
+
+@dataclass
+class SerialExecutor(Executor):
+    """Execute jobs one after another in the calling process."""
+
+    def _execute_many(
+        self,
+        jobs: List[Job],
+        on_executed: Callable[[Job, Dict[str, Any]], None],
+    ) -> None:
+        for job in jobs:
+            on_executed(job, execute_job(job))
+
+
+def _worker_count(requested: Optional[int]) -> int:
+    if requested is not None:
+        if requested < 1:
+            raise ValueError("worker count must be at least 1")
+        return requested
+    return max(1, os.cpu_count() or 1)
+
+
+@dataclass
+class ParallelExecutor(Executor):
+    """Fan jobs out over a process pool, one platform per worker process.
+
+    ``max_workers=None`` uses every available core.  ``max_pending`` bounds the
+    number of futures in flight so campaigns with tens of thousands of jobs do
+    not hold every argument pickled in memory at once.
+    """
+
+    max_workers: Optional[int] = None
+    max_pending: int = 1024
+    _mp_context: Any = field(init=False, repr=False, default=None)
+
+    def __post_init__(self) -> None:
+        self.max_workers = _worker_count(self.max_workers)
+        if self.max_pending < 1:
+            raise ValueError("max_pending must be at least 1")
+        # Fork keeps worker start cheap and inherits the warm platform memo;
+        # fall back to the platform default (e.g. spawn) where fork is absent.
+        try:
+            self._mp_context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            self._mp_context = multiprocessing.get_context()
+
+    def _execute_many(
+        self,
+        jobs: List[Job],
+        on_executed: Callable[[Job, Dict[str, Any]], None],
+    ) -> None:
+        if len(jobs) == 1 or self.max_workers == 1:
+            # A pool would only add fork/teardown overhead.
+            for job in jobs:
+                on_executed(job, execute_job(job))
+            return
+        workers = min(self.max_workers, len(jobs))
+        with ProcessPoolExecutor(
+            max_workers=workers, mp_context=self._mp_context
+        ) as pool:
+            queue = deque(jobs)
+            in_flight = {}
+            while queue or in_flight:
+                while queue and len(in_flight) < self.max_pending:
+                    job = queue.popleft()
+                    in_flight[pool.submit(execute_job, job)] = job
+                done, _ = wait(set(in_flight), return_when=FIRST_COMPLETED)
+                for future in done:
+                    job = in_flight.pop(future)
+                    on_executed(job, future.result())
+
+
+def make_executor(jobs: int = 1) -> Executor:
+    """The natural executor for a ``--jobs N`` request."""
+    if jobs < 1:
+        raise ValueError("job count must be at least 1")
+    if jobs == 1:
+        return SerialExecutor()
+    return ParallelExecutor(max_workers=jobs)

@@ -1,0 +1,600 @@
+"""Declarative simulation jobs with deterministic content hashes.
+
+The runtime never ships live objects (platforms, traces, policies) between
+processes: a job is a *specification* -- which trace builder to call, which
+policy to construct, which platform knobs to set, which engine parameters to
+use -- expressed entirely in JSON-scalar parameters.  That buys three things:
+
+* a **deterministic content hash** (the cache key): two jobs that would run the
+  exact same simulation hash identically, no matter where or when they were
+  built;
+* **process isolation**: every worker rebuilds its own :class:`Platform` from
+  the spec, so live MRC register state is never shared across concurrent runs
+  (the engine mutates the register file while simulating);
+* **replayability**: a job file read back from the cache fully describes the
+  run that produced the result next to it.
+
+Two job kinds exist:
+
+* :class:`SimulationJob` -- one ``SimulationEngine.run`` (trace x policy x
+  platform x engine config), producing a serialized
+  :class:`~repro.sim.result.SimulationResult`;
+* :class:`DegradationJob` -- one calibrator measurement (slowdown of a trace
+  between two IO/memory operating points plus its high-point counters), the
+  unit of work of the Fig. 6 predictor evaluation and the Sec. 7.4 sensitivity
+  sweep.
+
+``execute_job`` is the single entry point both executors use; worker-local
+memoization (platforms, synthetic corpora) lives here so serial and parallel
+execution share one code path and produce bit-identical results.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Any, Callable, ClassVar, Dict, List, Optional, Tuple, Union
+
+from repro import config
+from repro.core.operating_points import (
+    OperatingPoint,
+    OperatingPointTable,
+    build_ddr4_operating_points,
+    build_default_operating_points,
+)
+from repro.core.sysscale import SysScaleController, default_thresholds
+from repro.core.thresholds import ThresholdCalibrator
+from repro.baselines.fixed import FixedBaselinePolicy
+from repro.baselines.md_dvfs import StaticMdDvfsPolicy
+from repro.memory.dram import ddr4_device
+from repro.perf.counters import CounterName, CounterSample
+from repro.sim.engine import SimulationConfig, SimulationEngine
+from repro.sim.platform import Platform, build_platform
+from repro.sim.policy import Policy
+from repro.sim.result import SimulationResult
+from repro.workloads.batterylife import battery_life_workload
+from repro.workloads.corpus import CorpusGenerator
+from repro.workloads.graphics import graphics_workload
+from repro.workloads.io_devices import STANDARD_CONFIGURATIONS
+from repro.workloads.spec2006 import spec_workload
+from repro.workloads.trace import WorkloadClass, WorkloadTrace
+
+#: Bump when the job schema changes incompatibly; part of every content hash,
+#: so stale cache entries from older schemas can never be returned.
+SCHEMA_VERSION = 1
+
+#: JSON-scalar parameter values (tuples carry ordered string sequences).
+ParamValue = Union[str, int, float, bool, None, Tuple[str, ...]]
+Params = Tuple[Tuple[str, ParamValue], ...]
+
+
+def _normalize_params(params: Dict[str, Any]) -> Params:
+    """Sort parameters by key and freeze list values into tuples."""
+    items: List[Tuple[str, ParamValue]] = []
+    for key in sorted(params):
+        value = params[key]
+        if isinstance(value, list):
+            value = tuple(value)
+        if isinstance(value, tuple):
+            if not all(isinstance(item, str) for item in value):
+                raise TypeError(f"sequence parameter {key!r} must contain only strings")
+        elif value is not None and not isinstance(value, (str, int, float, bool)):
+            raise TypeError(
+                f"parameter {key!r} must be a JSON scalar or a sequence of strings, "
+                f"got {type(value).__name__}"
+            )
+        items.append((key, value))
+    return tuple(items)
+
+
+def _params_to_jsonable(params: Params) -> Dict[str, Any]:
+    """Plain-dict view of normalized parameters (tuples become lists)."""
+    return {
+        key: list(value) if isinstance(value, tuple) else value for key, value in params
+    }
+
+
+def canonical_json(data: Any) -> str:
+    """The canonical JSON encoding used for hashing (sorted keys, no spaces)."""
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+
+def content_hash(data: Any) -> str:
+    """SHA-256 content hash (hex) of ``data``'s canonical JSON encoding."""
+    digest = hashlib.sha256(canonical_json(data).encode("utf-8"))
+    return digest.hexdigest()
+
+
+def _cached_job_hash(job) -> str:
+    """Compute a job's content hash once and memoize it on the instance.
+
+    Executors, caches, and campaign dedup all key on the hash, so one job's
+    hash is consulted many times per run; the spec is frozen, so the digest can
+    never change after construction.
+    """
+    cached = job.__dict__.get("_content_hash")
+    if cached is None:
+        cached = content_hash({"schema": SCHEMA_VERSION, **job.to_dict()})
+        object.__setattr__(job, "_content_hash", cached)
+    return cached
+
+
+# ---------------------------------------------------------------------------
+# Trace specifications
+# ---------------------------------------------------------------------------
+
+TraceBuilder = Callable[..., WorkloadTrace]
+
+
+@lru_cache(maxsize=32)
+def _corpus_traces(
+    seed: int, duration: float, calls: Tuple[str, ...]
+) -> Tuple[Tuple[WorkloadTrace, ...], ...]:
+    """Replay a ``CorpusGenerator`` call sequence and memoize the traces.
+
+    ``generate_class`` draws from the generator's own RNG once per call, so a
+    corpus workload is only reproducible given the *whole sequence* of calls
+    made on one generator.  ``calls`` encodes that sequence as
+    ``"<workload_class>:<count>"`` strings; replaying it verbatim yields the
+    exact corpora the experiment built in the parent process.
+    """
+    generator = CorpusGenerator(seed=seed, duration=duration)
+    populations: List[Tuple[WorkloadTrace, ...]] = []
+    for call in calls:
+        class_name, _, count = call.rpartition(":")
+        corpus = generator.generate_class(WorkloadClass(class_name), int(count))
+        populations.append(tuple(workload.trace for workload in corpus))
+    return tuple(populations)
+
+
+def _build_corpus_trace(
+    seed: int,
+    calls: Tuple[str, ...],
+    call: int,
+    index: int,
+    duration: float = 1.0,
+) -> WorkloadTrace:
+    """One synthetic corpus workload, addressed by (call sequence, call, index)."""
+    populations = _corpus_traces(seed, duration, calls)
+    return populations[call][index]
+
+
+TRACE_BUILDERS: Dict[str, TraceBuilder] = {
+    "spec": spec_workload,
+    "graphics": graphics_workload,
+    "battery_life": battery_life_workload,
+    "corpus": _build_corpus_trace,
+}
+
+
+@dataclass(frozen=True)
+class TraceSpec:
+    """A workload trace, by builder name and JSON-scalar parameters."""
+
+    builder: str
+    params: Params = ()
+
+    def __post_init__(self) -> None:
+        if self.builder not in TRACE_BUILDERS:
+            raise KeyError(
+                f"unknown trace builder {self.builder!r}; known: {sorted(TRACE_BUILDERS)}"
+            )
+
+    @classmethod
+    def make(cls, builder: str, **params: Any) -> "TraceSpec":
+        """Build a spec from keyword parameters (order-insensitive)."""
+        return cls(builder=builder, params=_normalize_params(params))
+
+    def build(self) -> WorkloadTrace:
+        """Materialize the trace."""
+        kwargs = {key: value for key, value in self.params}
+        return TRACE_BUILDERS[self.builder](**kwargs)
+
+    @property
+    def label(self) -> str:
+        """Short human-readable identifier for progress reporting."""
+        params = dict(self.params)
+        if "name" in params:
+            return str(params["name"])
+        if self.builder == "corpus":
+            return f"corpus[{params.get('call', 0)}][{params.get('index', 0)}]"
+        return self.builder
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"builder": self.builder, "params": _params_to_jsonable(self.params)}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "TraceSpec":
+        return cls.make(data["builder"], **data["params"])
+
+
+# ---------------------------------------------------------------------------
+# Policy specifications
+# ---------------------------------------------------------------------------
+
+
+#: Process-local memo of (operating points, thresholds) per platform, keyed by
+#: platform identity (platforms themselves are memoized per spec, so identity
+#: is stable).  Threshold calibration is the paper's *offline* procedure: it
+#: depends only on the platform and point table, so recalibrating per job
+#: would dominate short smoke simulations.  The stored platform reference
+#: guards against id() reuse after garbage collection.
+_SYSSCALE_MEMO: Dict[Tuple[int, str], Tuple[Platform, Any, Any]] = {}
+
+
+def _build_sysscale(platform: Platform, operating_points: str = "default") -> Policy:
+    """SysScale with thresholds calibrated (once per platform) for it."""
+    key = (id(platform), operating_points)
+    memoized = _SYSSCALE_MEMO.get(key)
+    if memoized is None or memoized[0] is not platform:
+        if operating_points == "default":
+            points = build_default_operating_points(platform)
+        elif operating_points == "ddr4":
+            points = build_ddr4_operating_points()
+        else:
+            raise KeyError(f"unknown operating-point table {operating_points!r}")
+        memoized = (platform, points, default_thresholds(platform, points))
+        _SYSSCALE_MEMO[key] = memoized
+    _, points, thresholds = memoized
+    return SysScaleController(
+        platform=platform, operating_points=points, thresholds=thresholds
+    )
+
+
+POLICY_BUILDERS: Dict[str, Callable[..., Policy]] = {
+    "baseline": lambda platform, **params: FixedBaselinePolicy(**params),
+    "sysscale": _build_sysscale,
+    "md_dvfs": lambda platform, **params: StaticMdDvfsPolicy(**params),
+}
+
+
+@dataclass(frozen=True)
+class PolicySpec:
+    """A DVFS policy, by builder name and JSON-scalar parameters."""
+
+    builder: str
+    params: Params = ()
+
+    def __post_init__(self) -> None:
+        if self.builder not in POLICY_BUILDERS:
+            raise KeyError(
+                f"unknown policy builder {self.builder!r}; known: {sorted(POLICY_BUILDERS)}"
+            )
+
+    @classmethod
+    def make(cls, builder: str, **params: Any) -> "PolicySpec":
+        return cls(builder=builder, params=_normalize_params(params))
+
+    def build(self, platform: Platform) -> Policy:
+        """Materialize the policy against ``platform``."""
+        kwargs = {key: value for key, value in self.params}
+        return POLICY_BUILDERS[self.builder](platform, **kwargs)
+
+    @property
+    def label(self) -> str:
+        return self.builder
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"builder": self.builder, "params": _params_to_jsonable(self.params)}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "PolicySpec":
+        return cls.make(data["builder"], **data["params"])
+
+
+# ---------------------------------------------------------------------------
+# Platform and engine specifications
+# ---------------------------------------------------------------------------
+
+DRAM_BUILDERS: Dict[str, Callable[[], Any]] = {
+    "lpddr3": lambda: None,  # build_platform's default device
+    "ddr4": ddr4_device,
+}
+
+
+@dataclass(frozen=True)
+class PlatformSpec:
+    """The knobs ``build_platform`` exposes, as a hashable value object."""
+
+    tdp: float = config.SKYLAKE_DEFAULT_TDP
+    dram: str = "lpddr3"
+    platform_fixed_power: float = config.PLATFORM_FIXED_POWER
+
+    def __post_init__(self) -> None:
+        if self.tdp <= 0:
+            raise ValueError("TDP must be positive")
+        if self.dram not in DRAM_BUILDERS:
+            raise KeyError(
+                f"unknown DRAM device {self.dram!r}; known: {sorted(DRAM_BUILDERS)}"
+            )
+
+    def build(self) -> Platform:
+        """Assemble a fresh platform (never shared across processes)."""
+        return build_platform(
+            tdp=self.tdp,
+            dram=DRAM_BUILDERS[self.dram](),
+            platform_fixed_power=self.platform_fixed_power,
+        )
+
+    @property
+    def label(self) -> str:
+        return f"{self.dram}@{self.tdp:g}W"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "tdp": self.tdp,
+            "dram": self.dram,
+            "platform_fixed_power": self.platform_fixed_power,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "PlatformSpec":
+        return cls(**data)
+
+
+#: Process-local platform memo.  Within one worker, jobs sharing a platform
+#: spec reuse the same platform object -- safe because jobs run serially inside
+#: a worker and ``SimulationEngine.run`` restores boot MRC state on entry.
+_PLATFORM_MEMO: Dict[PlatformSpec, Platform] = {}
+
+
+def platform_for(spec: PlatformSpec) -> Platform:
+    """The memoized platform for ``spec`` in this process."""
+    platform = _PLATFORM_MEMO.get(spec)
+    if platform is None:
+        platform = spec.build()
+        _PLATFORM_MEMO[spec] = platform
+    return platform
+
+
+@dataclass(frozen=True)
+class SimSpec:
+    """The :class:`SimulationConfig` fields, as a hashable value object."""
+
+    tick: float = config.COUNTER_SAMPLING_INTERVAL
+    evaluation_interval: float = config.EVALUATION_INTERVAL
+    max_simulated_time: float = 120.0
+    record_bandwidth_samples: bool = False
+
+    def to_config(self) -> SimulationConfig:
+        return SimulationConfig(
+            tick=self.tick,
+            evaluation_interval=self.evaluation_interval,
+            max_simulated_time=self.max_simulated_time,
+            record_bandwidth_samples=self.record_bandwidth_samples,
+        )
+
+    @classmethod
+    def from_config(cls, sim_config: SimulationConfig) -> "SimSpec":
+        return cls(
+            tick=sim_config.tick,
+            evaluation_interval=sim_config.evaluation_interval,
+            max_simulated_time=sim_config.max_simulated_time,
+            record_bandwidth_samples=sim_config.record_bandwidth_samples,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "tick": self.tick,
+            "evaluation_interval": self.evaluation_interval,
+            "max_simulated_time": self.max_simulated_time,
+            "record_bandwidth_samples": self.record_bandwidth_samples,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SimSpec":
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class PointSpec:
+    """An IO/memory operating point, by value (name-free, so hashes are pure)."""
+
+    dram_frequency: float
+    interconnect_frequency: float
+    v_sa_scale: float = 1.0
+    v_io_scale: float = 1.0
+    mrc_optimized: bool = True
+
+    @classmethod
+    def from_point(cls, point: OperatingPoint) -> "PointSpec":
+        return cls(
+            dram_frequency=point.dram_frequency,
+            interconnect_frequency=point.interconnect_frequency,
+            v_sa_scale=point.v_sa_scale,
+            v_io_scale=point.v_io_scale,
+            mrc_optimized=point.mrc_optimized,
+        )
+
+    def to_point(self, name: Optional[str] = None) -> OperatingPoint:
+        return OperatingPoint(
+            name=name or f"{self.dram_frequency / config.GHZ:.2f}GHz",
+            dram_frequency=self.dram_frequency,
+            interconnect_frequency=self.interconnect_frequency,
+            v_sa_scale=self.v_sa_scale,
+            v_io_scale=self.v_io_scale,
+            mrc_optimized=self.mrc_optimized,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "dram_frequency": self.dram_frequency,
+            "interconnect_frequency": self.interconnect_frequency,
+            "v_sa_scale": self.v_sa_scale,
+            "v_io_scale": self.v_io_scale,
+            "mrc_optimized": self.mrc_optimized,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "PointSpec":
+        return cls(**data)
+
+
+# ---------------------------------------------------------------------------
+# Jobs
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SimulationJob:
+    """One ``SimulationEngine.run``: trace x policy x platform x engine config."""
+
+    kind: ClassVar[str] = "simulate"
+
+    trace: TraceSpec
+    policy: PolicySpec
+    platform: PlatformSpec = PlatformSpec()
+    sim: SimSpec = SimSpec()
+    peripherals: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.peripherals is not None and self.peripherals not in STANDARD_CONFIGURATIONS:
+            raise KeyError(
+                f"unknown peripheral configuration {self.peripherals!r}; "
+                f"known: {sorted(STANDARD_CONFIGURATIONS)}"
+            )
+
+    @property
+    def label(self) -> str:
+        return f"{self.trace.label}/{self.policy.label}@{self.platform.label}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "trace": self.trace.to_dict(),
+            "policy": self.policy.to_dict(),
+            "platform": self.platform.to_dict(),
+            "sim": self.sim.to_dict(),
+            "peripherals": self.peripherals,
+        }
+
+    @property
+    def content_hash(self) -> str:
+        return _cached_job_hash(self)
+
+
+@dataclass(frozen=True)
+class DegradationJob:
+    """One calibrator measurement: slowdown between two operating points.
+
+    The unit of work of the Fig. 6 predictor evaluation and the Sec. 7.4
+    sensitivity study: the fractional slowdown of ``trace`` at ``low`` vs.
+    ``high``, plus the trace's duration-weighted counters at ``high``.
+    """
+
+    kind: ClassVar[str] = "degradation"
+
+    trace: TraceSpec
+    high: PointSpec
+    low: PointSpec
+    platform: PlatformSpec = PlatformSpec()
+
+    @property
+    def label(self) -> str:
+        pair = (
+            f"{self.high.dram_frequency / config.GHZ:.2f}"
+            f"->{self.low.dram_frequency / config.GHZ:.2f}GHz"
+        )
+        return f"{self.trace.label}/{pair}@{self.platform.label}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "trace": self.trace.to_dict(),
+            "high": self.high.to_dict(),
+            "low": self.low.to_dict(),
+            "platform": self.platform.to_dict(),
+        }
+
+    @property
+    def content_hash(self) -> str:
+        return _cached_job_hash(self)
+
+
+Job = Union[SimulationJob, DegradationJob]
+
+JOB_KINDS: Dict[str, type] = {
+    SimulationJob.kind: SimulationJob,
+    DegradationJob.kind: DegradationJob,
+}
+
+
+def job_from_dict(data: Dict[str, Any]) -> Job:
+    """Rebuild a job serialized with ``to_dict`` (dispatches on ``kind``)."""
+    kind = data.get("kind")
+    if kind == SimulationJob.kind:
+        return SimulationJob(
+            trace=TraceSpec.from_dict(data["trace"]),
+            policy=PolicySpec.from_dict(data["policy"]),
+            platform=PlatformSpec.from_dict(data["platform"]),
+            sim=SimSpec.from_dict(data["sim"]),
+            peripherals=data.get("peripherals"),
+        )
+    if kind == DegradationJob.kind:
+        return DegradationJob(
+            trace=TraceSpec.from_dict(data["trace"]),
+            high=PointSpec.from_dict(data["high"]),
+            low=PointSpec.from_dict(data["low"]),
+            platform=PlatformSpec.from_dict(data["platform"]),
+        )
+    raise KeyError(f"unknown job kind {kind!r}; known: {sorted(JOB_KINDS)}")
+
+
+# ---------------------------------------------------------------------------
+# Execution and result decoding
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DegradationMeasurement:
+    """Decoded result of a :class:`DegradationJob`."""
+
+    degradation: float
+    counters: CounterSample
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "DegradationMeasurement":
+        values = {CounterName(name): value for name, value in payload["counters"].items()}
+        return cls(degradation=payload["degradation"], counters=CounterSample(values=values))
+
+
+def execute_job(job: Job) -> Dict[str, Any]:
+    """Run one job in this process and return its JSON-serializable payload.
+
+    This is the single execution path shared by :class:`SerialExecutor` and the
+    worker processes of :class:`ParallelExecutor`, which is what makes their
+    results bit-identical.
+    """
+    platform = platform_for(job.platform)
+    if isinstance(job, SimulationJob):
+        engine = SimulationEngine(platform, job.sim.to_config())
+        peripherals = (
+            STANDARD_CONFIGURATIONS[job.peripherals] if job.peripherals else None
+        )
+        result = engine.run(job.trace.build(), job.policy.build(platform), peripherals)
+        return result.to_dict()
+    if isinstance(job, DegradationJob):
+        high = job.high.to_point("high")
+        low = job.low.to_point("low")
+        calibrator = ThresholdCalibrator(
+            platform=platform,
+            operating_points=OperatingPointTable(points=[high, low]),
+        )
+        trace = job.trace.build()
+        counters = calibrator.measure_counters(trace)
+        return {
+            "degradation": calibrator.measure_degradation(trace, high, low),
+            "counters": {name.value: counters[name] for name in CounterName},
+        }
+    raise TypeError(f"cannot execute {type(job).__name__}")
+
+
+def decode_result(job: Job, payload: Dict[str, Any]):
+    """Turn a job's raw payload back into its natural result object."""
+    if isinstance(job, SimulationJob):
+        return SimulationResult.from_dict(payload)
+    if isinstance(job, DegradationJob):
+        return DegradationMeasurement.from_payload(payload)
+    raise TypeError(f"cannot decode results of {type(job).__name__}")

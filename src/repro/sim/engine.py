@@ -93,11 +93,11 @@ class SimulationEngine:
         static_demand = StaticDemandInfo(peripherals=peripherals)
 
         # Each run starts from the boot state: MRC registers trained for the
-        # default (highest) DRAM frequency.  Without this, register contents
-        # loaded by a previous run would leak into this one.
-        boot_frequency = self.platform.dram.max_frequency
-        if self.platform.mrc_sram.has_frequency(boot_frequency):
-            self.platform.mrc_registers.load(self.platform.mrc_sram.load(boot_frequency))
+        # default (highest) DRAM frequency, DRAM at its top bin, rails at
+        # nominal voltage, interconnect running at its high clock.  Without
+        # this, state mutated by a previous run's transition flow would leak
+        # into this one and results would depend on run order.
+        self.platform.reset_to_boot()
 
         action = policy.reset(self.platform, trace)
         self._apply_mrc(action)

@@ -65,6 +65,29 @@ class Platform:
         """The high-operating-point boot state of the SoC."""
         return self.soc.default_state()
 
+    def reset_to_boot(self) -> None:
+        """Restore every piece of live state a previous run may have mutated.
+
+        The SysScale transition flow moves real platform objects -- the DRAM
+        frequency and self-refresh state, the shared rail voltages, the
+        interconnect clock and queue, the MRC register file.  Restoring the
+        boot state here makes ``SimulationEngine.run`` deterministic regardless
+        of what ran on the platform before (results must never depend on run
+        order, or caching and parallel execution would change the numbers).
+        """
+        dram = self.dram
+        # Frequency changes are only legal in self-refresh (Fig. 5, step 4
+        # precedes step 6), so pass through it on the way back to the top bin.
+        dram.in_self_refresh = True
+        dram.set_frequency(dram.max_frequency)
+        dram.in_self_refresh = False
+        self.soc.rails.reset()
+        self.soc.interconnect_fabric.reset(
+            frequency=self.soc.io_interconnect.high_frequency
+        )
+        if self.mrc_sram.has_frequency(dram.max_frequency):
+            self.mrc_registers.load(self.mrc_sram.load(dram.max_frequency))
+
     def io_memory_power_at(
         self,
         dram_frequency: float,

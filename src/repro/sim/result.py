@@ -54,6 +54,28 @@ class DomainEnergyBreakdown:
             "total_j": self.total,
         }
 
+    # ------------------------------------------------------------------
+    # Serialization (round-trip exact; used by the runtime result cache)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, float]:
+        """Raw per-domain fields; ``from_dict`` restores an equal breakdown."""
+        return {
+            "compute": self.compute,
+            "io": self.io,
+            "memory": self.memory,
+            "platform_fixed": self.platform_fixed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, float]) -> "DomainEnergyBreakdown":
+        """Rebuild a breakdown serialized with :meth:`to_dict`."""
+        return cls(
+            compute=data["compute"],
+            io=data["io"],
+            memory=data["memory"],
+            platform_fixed=data["platform_fixed"],
+        )
+
 
 @dataclass
 class SimulationResult:
@@ -135,6 +157,52 @@ class SimulationResult:
     def edp_improvement_over(self, baseline: "SimulationResult") -> float:
         """Fractional EDP improvement over ``baseline``."""
         return self.metrics.edp_improvement_over(baseline.metrics)
+
+    # ------------------------------------------------------------------
+    # Serialization (round-trip exact; used by the runtime result cache)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Every field, verbatim, so ``from_dict`` restores an equal result.
+
+        Unlike :meth:`as_dict` (a flat *summary* with derived metrics for result
+        tables), this is a faithful serialization: all floats pass through JSON
+        unchanged (``repr`` round-trip), so a cached result is bit-identical to
+        the freshly simulated one.
+        """
+        return {
+            "workload": self.workload,
+            "policy": self.policy,
+            "execution_time": self.execution_time,
+            "energy": self.energy.to_dict(),
+            "transitions": self.transitions,
+            "transition_time": self.transition_time,
+            "low_point_time": self.low_point_time,
+            "evaluation_count": self.evaluation_count,
+            "average_cpu_frequency": self.average_cpu_frequency,
+            "average_gfx_frequency": self.average_gfx_frequency,
+            "average_dram_frequency": self.average_dram_frequency,
+            "achieved_bandwidth_samples": list(self.achieved_bandwidth_samples),
+            "notes": dict(self.notes),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimulationResult":
+        """Rebuild a result serialized with :meth:`to_dict`."""
+        return cls(
+            workload=data["workload"],
+            policy=data["policy"],
+            execution_time=data["execution_time"],
+            energy=DomainEnergyBreakdown.from_dict(data["energy"]),
+            transitions=data["transitions"],
+            transition_time=data["transition_time"],
+            low_point_time=data["low_point_time"],
+            evaluation_count=data["evaluation_count"],
+            average_cpu_frequency=data["average_cpu_frequency"],
+            average_gfx_frequency=data["average_gfx_frequency"],
+            average_dram_frequency=data["average_dram_frequency"],
+            achieved_bandwidth_samples=list(data["achieved_bandwidth_samples"]),
+            notes=dict(data["notes"]),
+        )
 
     def as_dict(self) -> dict:
         """Flat summary for result tables."""

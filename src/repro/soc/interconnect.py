@@ -116,6 +116,16 @@ class BlockDrainInterconnect:
             self.frequency = new_frequency
         self.phase = InterconnectPhase.RUNNING
 
+    def reset(self, frequency: float | None = None) -> None:
+        """Return to the boot state: running, empty queue, high clock, no history."""
+        if frequency is not None:
+            if frequency <= 0:
+                raise ValueError("frequency must be positive")
+            self.frequency = frequency
+        self.phase = InterconnectPhase.RUNNING
+        self.outstanding_requests = 0
+        self._drain_log.clear()
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------

@@ -1,0 +1,72 @@
+"""Round-trip serialization of simulation results (backs the runtime cache)."""
+
+import json
+
+import pytest
+
+from repro.baselines.fixed import FixedBaselinePolicy
+from repro.sim.result import DomainEnergyBreakdown, SimulationResult
+from repro.workloads.spec2006 import spec_workload
+
+
+def _sample_result() -> SimulationResult:
+    energy = DomainEnergyBreakdown()
+    energy.add(compute=1.2345678901234567, io=0.3, memory=0.7071067811865476, platform_fixed=0.2)
+    return SimulationResult(
+        workload="470.lbm",
+        policy="SysScale",
+        execution_time=3.0000000000000004,
+        energy=energy,
+        transitions=17,
+        transition_time=1.7e-4,
+        low_point_time=1.9999999999999998,
+        evaluation_count=99,
+        average_cpu_frequency=1.23456789e9,
+        average_gfx_frequency=3.1e8,
+        average_dram_frequency=1.2e9,
+        achieved_bandwidth_samples=[1.1e9, 2.2e9, 3.3333333333333335e9],
+        notes={"extra": 0.1, "other": 2.5},
+    )
+
+
+class TestDomainEnergyBreakdown:
+    def test_round_trip_exact(self):
+        energy = DomainEnergyBreakdown(
+            compute=0.1, io=0.2, memory=0.30000000000000004, platform_fixed=0.4
+        )
+        restored = DomainEnergyBreakdown.from_dict(energy.to_dict())
+        assert restored == energy
+        assert restored.total == energy.total
+
+    def test_round_trip_through_json(self):
+        energy = DomainEnergyBreakdown(compute=1 / 3, io=2 / 7, memory=1e-17, platform_fixed=0.0)
+        restored = DomainEnergyBreakdown.from_dict(json.loads(json.dumps(energy.to_dict())))
+        assert restored == energy
+
+
+class TestSimulationResult:
+    def test_round_trip_exact(self):
+        result = _sample_result()
+        restored = SimulationResult.from_dict(result.to_dict())
+        assert restored == result
+
+    def test_round_trip_through_json(self):
+        """Floats survive JSON unchanged (repr round-trip), so cached results
+        are bit-identical to freshly simulated ones."""
+        result = _sample_result()
+        restored = SimulationResult.from_dict(json.loads(json.dumps(result.to_dict())))
+        assert restored == result
+        assert restored.edp == result.edp
+        assert restored.average_power == result.average_power
+
+    def test_round_trip_of_engine_output(self, engine):
+        trace = spec_workload("416.gamess", duration=0.1)
+        result = engine.run(trace, FixedBaselinePolicy())
+        restored = SimulationResult.from_dict(json.loads(json.dumps(result.to_dict())))
+        assert restored == result
+
+    def test_from_dict_validates(self):
+        data = _sample_result().to_dict()
+        data["execution_time"] = -1.0
+        with pytest.raises(ValueError):
+            SimulationResult.from_dict(data)

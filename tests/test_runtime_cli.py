@@ -1,0 +1,84 @@
+"""The ``python -m repro`` command line."""
+
+import pytest
+
+from repro.runtime.cli import EXPERIMENTS, main
+from repro.runtime.campaign import CAMPAIGNS
+
+
+class TestList:
+    def test_lists_every_target(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in output
+        for name in CAMPAIGNS:
+            assert name in output
+
+
+class TestRun:
+    def test_unknown_target_fails(self, capsys):
+        assert main(["run", "fig99", "--no-cache"]) == 2
+        assert "unknown target" in capsys.readouterr().err
+
+    def test_runs_cheap_experiment(self, capsys):
+        assert main(["run", "table2", "--no-cache"]) == 0
+        output = capsys.readouterr().out
+        assert "== table2 ==" in output
+        assert "runtime:" in output
+
+    def test_cache_hit_counter_reports_zero_new_simulations(self, tmp_path, capsys):
+        """Acceptance: a warm-cache rerun performs zero new simulations, and
+        the CLI summary's counters prove it."""
+        args = [
+            "run", "fig7", "--quick",
+            "--duration", "0.05", "--max-time", "0.05",
+            "--cache-dir", str(tmp_path / "cache"),
+        ]
+        assert main(args) == 0
+        cold = capsys.readouterr().out
+        assert "0 cache hit(s)" in cold
+
+        assert main(args) == 0
+        warm = capsys.readouterr().out
+        assert "0 simulated" in warm
+        assert "0 cache hit(s)" not in warm
+
+        def averages(output):
+            return [
+                line for line in output.splitlines() if line.startswith("  average:")
+            ]
+
+        assert averages(warm) == averages(cold)
+
+    def test_parallel_jobs_flag(self, tmp_path, capsys):
+        args = [
+            "run", "fig7", "--quick", "--jobs", "2",
+            "--duration", "0.05", "--max-time", "0.05",
+            "--cache-dir", str(tmp_path / "cache"),
+        ]
+        assert main(args) == 0
+        assert "simulated" in capsys.readouterr().out
+
+    def test_campaign_target_with_progress(self, capsys):
+        assert main([
+            "run", "spec-tdp", "--quick", "--no-cache", "--progress",
+            "--max-time", "0.03",
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "jobs:" in output
+        assert "[" in output  # progress lines
+
+
+class TestCache:
+    def test_info_and_clear(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert main([
+            "run", "fig7", "--quick", "--duration", "0.05", "--max-time", "0.05",
+            "--cache-dir", cache_dir,
+        ]) == 0
+        capsys.readouterr()
+        assert main(["cache", "--cache-dir", cache_dir]) == 0
+        assert "entries:" in capsys.readouterr().out
+        assert main(["cache", "--cache-dir", cache_dir, "--clear"]) == 0
+        assert "removed" in capsys.readouterr().out
