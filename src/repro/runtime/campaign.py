@@ -176,9 +176,56 @@ def dram_device_campaign(quick: bool = False) -> Campaign:
     )
 
 
+#: ``--quick`` scenario subset: one representative per generator family.
+QUICK_SCENARIO_SUBSET: Tuple[str, ...] = (
+    "bursty-heavy", "periodic-fast", "ramp-up", "idle-mostly",
+    "thrash-sustained", "gfx-interference-light", "io-stream-hd",
+    "markov-mobile-day",
+)
+
+#: Full scenario-sweep policy set; ``--quick`` drops the static MD-DVFS arm.
+SCENARIO_POLICIES = (
+    PolicySpec.make("baseline"),
+    PolicySpec.make("sysscale"),
+    PolicySpec.make("md_dvfs"),
+)
+
+
+def scenario_campaign(
+    quick: bool = False,
+    policies: Optional[Sequence[PolicySpec]] = None,
+    names: Optional[Sequence[str]] = None,
+) -> Campaign:
+    """The synthesized-scenario catalog crossed with the policy set.
+
+    The full grid is every catalog scenario x {baseline, SysScale, MD-DVFS};
+    ``quick`` reduces to one scenario per generator family under the two
+    headline policies.
+    """
+    # Deferred import: repro.runtime.__init__ imports this module, and the
+    # scenario registry imports repro.runtime.jobs -- a top-level import here
+    # would close that cycle.
+    from repro.scenarios.registry import SCENARIOS, catalog_trace_specs
+
+    if names is None:
+        names = QUICK_SCENARIO_SUBSET if quick else tuple(sorted(SCENARIOS))
+    if policies is None:
+        policies = BOTH_POLICIES if quick else SCENARIO_POLICIES
+    return build_grid_campaign(
+        name="scenarios",
+        traces=catalog_trace_specs(names),
+        policies=policies,
+        description=(
+            f"{len(names)} synthesized scenario(s) x "
+            f"{len(policies)} polic(ies) (repro.scenarios catalog)"
+        ),
+    )
+
+
 #: Campaigns runnable by name from the CLI; each factory takes ``quick``.
 CAMPAIGNS: Dict[str, Callable[[bool], Campaign]] = {
     "spec-tdp": spec_tdp_campaign,
     "evaluation": evaluation_campaign,
     "dram-device": dram_device_campaign,
+    "scenarios": scenario_campaign,
 }

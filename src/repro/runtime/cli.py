@@ -1,13 +1,16 @@
 """The ``python -m repro`` command line.
 
-Three subcommands:
+Four subcommands:
 
-* ``list`` -- every runnable target: the paper's tables and figures plus the
-  named sweep campaigns;
+* ``list`` -- every runnable target (the paper's tables and figures plus the
+  named sweep campaigns) and every registered building block: trace builders,
+  policies, DRAM devices, and the scenario catalog;
 * ``run TARGET [TARGET ...]`` -- run targets through the runtime, with
   ``--jobs N`` (process parallelism), ``--cache-dir``/``--no-cache`` (the
   content-addressed result store), ``--quick`` (reduced workload sets), and
   ``--duration``/``--max-time`` (trace/engine scaling for smoke runs);
+* ``scenarios`` -- the synthesized-workload catalog: ``list`` it, ``describe``
+  one spec, or ``sweep`` scenarios x policies through the runtime;
 * ``cache`` -- inspect or clear the result store.
 
 Every ``run`` invocation ends with the runtime summary line, e.g.::
@@ -28,6 +31,7 @@ from typing import Any, Callable, Dict, List, Optional
 from repro import config
 from repro.experiments import (
     build_context,
+    run_scenario_robustness,
     run_dram_frequency_sensitivity,
     run_fig2_motivation,
     run_fig3_bandwidth_demand,
@@ -43,9 +47,21 @@ from repro.experiments import (
 )
 from repro.experiments.runner import ExperimentContext, ExperimentRuntime
 from repro.runtime.cache import ResultCache, default_cache_dir
-from repro.runtime.campaign import CAMPAIGNS, QUICK_SPEC_SUBSET
+from repro.runtime.campaign import (
+    CAMPAIGNS,
+    QUICK_SCENARIO_SUBSET,
+    QUICK_SPEC_SUBSET,
+    scenario_campaign,
+)
 from repro.runtime.executor import ProgressUpdate, make_executor
-from repro.runtime.jobs import SimSpec
+from repro.runtime.jobs import (
+    DRAM_BUILDERS,
+    POLICY_BUILDERS,
+    TRACE_BUILDERS,
+    PolicySpec,
+    SimSpec,
+    SimulationJob,
+)
 from repro.sim.engine import SimulationConfig
 from repro.workloads.trace import WorkloadClass
 
@@ -119,6 +135,12 @@ EXPERIMENTS: Dict[str, tuple] = {
             context, corpus_size=20 if quick else 80
         ),
     ),
+    "robustness": (
+        "Scenario robustness: SysScale vs. baselines across the synthesized catalog",
+        lambda context, quick: run_scenario_robustness(
+            context, subset=QUICK_SCENARIO_SUBSET if quick else None
+        ),
+    ),
 }
 
 
@@ -136,6 +158,7 @@ FLAGS_IGNORED_BY_TARGET: Dict[str, tuple] = {
     "table2": ("--duration",),
     "fig4": ("--duration",),
     "fig5": ("--duration",),
+    "robustness": ("--duration",),
 }
 
 
@@ -196,6 +219,9 @@ def _build_runtime(args: argparse.Namespace) -> ExperimentRuntime:
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
+    from repro.scenarios.generators import GENERATORS
+    from repro.scenarios.registry import SCENARIOS
+
     print("experiments:")
     for name, (description, _) in EXPERIMENTS.items():
         print(f"  {name:12s} {description}")
@@ -203,6 +229,23 @@ def _cmd_list(args: argparse.Namespace) -> int:
     for name, factory in CAMPAIGNS.items():
         campaign = factory(True)
         print(f"  {name:12s} {campaign.description} ({len(factory(False))} jobs full)")
+    print("trace builders (TraceSpec.make(<builder>, ...)):")
+    for name in sorted(TRACE_BUILDERS):
+        print(f"  {name}")
+    print("policies (PolicySpec.make(<builder>, ...)):")
+    for name in sorted(POLICY_BUILDERS):
+        print(f"  {name}")
+    print("platforms (PlatformSpec knobs):")
+    print(f"  dram: {', '.join(sorted(DRAM_BUILDERS))}")
+    print(
+        f"  tdp: default {config.SKYLAKE_DEFAULT_TDP:g} W "
+        f"(evaluated range {config.SKYLAKE_TDP_RANGE[0]:g}-"
+        f"{config.SKYLAKE_TDP_RANGE[1]:g} W)"
+    )
+    print(
+        f"scenarios: {len(SCENARIOS)} in catalog across {len(GENERATORS)} "
+        "generators (python -m repro scenarios list)"
+    )
     return 0
 
 
@@ -239,7 +282,6 @@ def _cmd_run(args: argparse.Namespace) -> int:
         runtime=runtime,
     )
 
-    collected: Dict[str, Any] = {}
     for target in args.targets:
         print(f"== {target} ==")
         started = time.perf_counter()
@@ -281,13 +323,160 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 "rows": [outcome.result.as_dict() for outcome in report.outcomes],
             }
         elapsed = time.perf_counter() - started
-        collected[target] = result
         if args.json:
             print(json.dumps(result, indent=2, default=_json_default))
         else:
             _print_scalar_summary(result)
         print(f"  elapsed: {elapsed:.2f}s")
 
+    print(f"runtime: {runtime.summary()}")
+    if runtime.cache is not None:
+        print(f"cache: {runtime.cache.root} ({len(runtime.cache)} entries)")
+    return 0
+
+
+def _cmd_scenarios_list(args: argparse.Namespace) -> int:
+    from repro.scenarios.registry import SCENARIOS
+
+    if args.json:
+        print(
+            json.dumps(
+                {name: SCENARIOS[name].to_dict() for name in sorted(SCENARIOS)},
+                indent=2,
+            )
+        )
+        return 0
+    for name in sorted(SCENARIOS):
+        spec = SCENARIOS[name]
+        print(f"  {name:26s} {spec.generator:22s} seed={spec.seed:<6d} {spec.description}")
+    print(f"{len(SCENARIOS)} scenario(s); describe one with: scenarios describe NAME")
+    return 0
+
+
+def _cmd_scenarios_describe(args: argparse.Namespace) -> int:
+    from repro.scenarios.registry import SCENARIOS
+
+    spec = SCENARIOS.get(args.name)
+    if spec is None:
+        print(
+            f"unknown scenario {args.name!r}; known: {', '.join(sorted(SCENARIOS))}",
+            file=sys.stderr,
+        )
+        return 2
+    trace = spec.build()
+    details = {
+        "spec": spec.to_dict(),
+        "content_hash": spec.content_hash,
+        "trace": {
+            "name": trace.name,
+            "workload_class": trace.workload_class.value,
+            "metric": trace.metric.value,
+            "phases": len(trace.phases),
+            "total_duration_s": trace.total_duration,
+            "average_bandwidth_gbps": trace.average_bandwidth_demand / config.gbps(1),
+            "peak_bandwidth_gbps": trace.peak_bandwidth_demand / config.gbps(1),
+            "memory_bound_fraction": trace.average_memory_bound_fraction,
+        },
+    }
+    if args.json:
+        print(json.dumps(details, indent=2, default=_json_default))
+        return 0
+    print(f"scenario {spec.name!r}: {spec.description}")
+    print(f"  generator: {spec.generator}  seed: {spec.seed}")
+    if spec.params:
+        rendered = ", ".join(f"{key}={value}" for key, value in spec.params)
+        print(f"  params: {rendered}")
+    print(f"  content hash: {spec.content_hash}")
+    for key, value in details["trace"].items():
+        formatted = f"{value:.4g}" if isinstance(value, float) else value
+        print(f"  {key}: {formatted}")
+    return 0
+
+
+def _cmd_scenarios_sweep(args: argparse.Namespace) -> int:
+    unknown = [p for p in (args.policies or []) if p not in POLICY_BUILDERS]
+    if unknown:
+        print(
+            f"unknown polic(ies): {', '.join(unknown)}; "
+            f"known: {', '.join(sorted(POLICY_BUILDERS))}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.jobs < 1:
+        print(f"--jobs must be at least 1, got {args.jobs}", file=sys.stderr)
+        return 2
+    if args.max_time is not None and args.max_time <= 0:
+        print(f"--max-time must be positive, got {args.max_time}", file=sys.stderr)
+        return 2
+
+    runtime = _build_runtime(args)
+    policies = (
+        tuple(PolicySpec.make(name) for name in args.policies)
+        if args.policies
+        else None
+    )
+    campaign = scenario_campaign(quick=args.quick, policies=policies)
+    if args.max_time is not None:
+        campaign = campaign.with_sim(SimSpec(max_simulated_time=args.max_time))
+
+    started = time.perf_counter()
+    report = runtime.run_jobs(campaign.jobs)
+    elapsed = time.perf_counter() - started
+
+    # Regroup the flat outcome list scenario by scenario; the grid builder
+    # emits trace-outer, policy-inner, but group by label to stay robust.
+    per_scenario: Dict[str, Dict[str, Any]] = {}
+    for outcome in report.outcomes:
+        job = outcome.job
+        assert isinstance(job, SimulationJob)
+        per_scenario.setdefault(job.trace.label, {})[
+            job.policy.builder
+        ] = outcome.result
+
+    rows: List[Dict[str, Any]] = []
+    for scenario in sorted(per_scenario):
+        for policy, result in sorted(per_scenario[scenario].items()):
+            row = {
+                "scenario": scenario,
+                "policy": policy,
+                "energy_j": result.energy.total,
+                "time_s": result.execution_time,
+            }
+            baseline = per_scenario[scenario].get("baseline")
+            if baseline is not None and policy != "baseline":
+                row["energy_reduction"] = result.energy_reduction_vs(baseline)
+                row["perf_impact"] = result.performance_improvement_over(baseline)
+            rows.append(row)
+
+    if args.json:
+        print(json.dumps({"sweep": campaign.description, "rows": rows}, indent=2))
+    else:
+        print(
+            f"sweep: {len(per_scenario)} scenario(s) x "
+            f"{len({row['policy'] for row in rows})} polic(ies), "
+            f"{len(campaign.jobs)} job(s)"
+        )
+        for row in rows:
+            line = (
+                f"  {row['scenario']:26s} {row['policy']:10s} "
+                f"energy={row['energy_j']:.9g} J  time={row['time_s']:.9g} s"
+            )
+            if "energy_reduction" in row:
+                line += (
+                    f"  d_energy={row['energy_reduction'] * 100:.6g}%"
+                    f"  d_perf={row['perf_impact'] * 100:.6g}%"
+                )
+            print(line)
+        reductions = [
+            row["energy_reduction"] for row in rows
+            if row["policy"] == "sysscale" and "energy_reduction" in row
+        ]
+        if reductions:
+            print(
+                f"  sysscale average energy reduction: "
+                f"{sum(reductions) / len(reductions) * 100:.6g}%"
+            )
+    print(f"  elapsed: {elapsed:.2f}s")
     print(f"runtime: {runtime.summary()}")
     if runtime.cache is not None:
         print(f"cache: {runtime.cache.root} ({len(runtime.cache)} entries)")
@@ -305,6 +494,24 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     print(f"  entries: {entries}")
     print(f"  size: {cache.size_bytes() / 1024:.1f} KiB")
     return 0
+
+
+def _add_runtime_flags(parser: argparse.ArgumentParser) -> None:
+    """The executor/cache flags shared by ``run`` and ``scenarios sweep``."""
+    parser.add_argument(
+        "--jobs", "-j", type=int, default=1, metavar="N",
+        help="worker processes (default 1: serial in-process execution)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=default_cache_dir(), metavar="DIR",
+        help="result cache directory (default .repro-cache, or $REPRO_CACHE_DIR)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true", help="disable the result cache entirely"
+    )
+    parser.add_argument(
+        "--progress", action="store_true", help="print per-job progress lines"
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -325,17 +532,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "targets", nargs="+", metavar="TARGET", help="figure, table, or campaign name"
     )
-    run_parser.add_argument(
-        "--jobs", "-j", type=int, default=1, metavar="N",
-        help="worker processes (default 1: serial in-process execution)",
-    )
-    run_parser.add_argument(
-        "--cache-dir", default=default_cache_dir(), metavar="DIR",
-        help="result cache directory (default .repro-cache, or $REPRO_CACHE_DIR)",
-    )
-    run_parser.add_argument(
-        "--no-cache", action="store_true", help="disable the result cache entirely"
-    )
+    _add_runtime_flags(run_parser)
     run_parser.add_argument(
         "--quick", action="store_true", help="reduced workload sets for fast runs"
     )
@@ -352,12 +549,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="package TDP in watts",
     )
     run_parser.add_argument(
-        "--progress", action="store_true", help="print per-job progress lines"
-    )
-    run_parser.add_argument(
         "--json", action="store_true", help="print full results as JSON"
     )
     run_parser.set_defaults(handler=_cmd_run)
+
+    scenarios_parser = subparsers.add_parser(
+        "scenarios", help="the synthesized scenario catalog (repro.scenarios)"
+    )
+    scenarios_sub = scenarios_parser.add_subparsers(
+        dest="scenarios_command", required=True
+    )
+    scen_list = scenarios_sub.add_parser("list", help="list the scenario catalog")
+    scen_list.add_argument(
+        "--json", action="store_true", help="print the catalog specs as JSON"
+    )
+    scen_list.set_defaults(handler=_cmd_scenarios_list)
+    scen_describe = scenarios_sub.add_parser(
+        "describe", help="show one scenario's spec, hash, and trace shape"
+    )
+    scen_describe.add_argument("name", metavar="NAME", help="catalog scenario name")
+    scen_describe.add_argument(
+        "--json", action="store_true", help="print the details as JSON"
+    )
+    scen_describe.set_defaults(handler=_cmd_scenarios_describe)
+    scen_sweep = scenarios_sub.add_parser(
+        "sweep", help="sweep scenarios x policies through the runtime"
+    )
+    _add_runtime_flags(scen_sweep)
+    scen_sweep.add_argument(
+        "--policies", nargs="+", metavar="POLICY",
+        help="policy builders to sweep (default: baseline sysscale md_dvfs)",
+    )
+    scen_sweep.add_argument(
+        "--quick", action="store_true",
+        help="one scenario per generator family, headline policies only",
+    )
+    scen_sweep.add_argument(
+        "--max-time", type=float, default=None, metavar="S",
+        help="cap simulated time per run (engine max_simulated_time)",
+    )
+    scen_sweep.add_argument(
+        "--json", action="store_true", help="print sweep rows as JSON"
+    )
+    scen_sweep.set_defaults(handler=_cmd_scenarios_sweep)
 
     cache_parser = subparsers.add_parser("cache", help="inspect or clear the cache")
     cache_parser.add_argument(

@@ -161,11 +161,25 @@ def _build_corpus_trace(
     return populations[call][index]
 
 
+def _build_scenario_trace(**params: Any) -> WorkloadTrace:
+    """Synthesize a ``repro.scenarios`` trace (generator + params + seed).
+
+    The import is deferred so that any process able to import this module --
+    including a spawn-started worker that unpickles a ``TraceSpec`` -- can
+    execute scenario jobs without the parent having imported the scenarios
+    package first.
+    """
+    from repro.scenarios.registry import build_scenario_trace
+
+    return build_scenario_trace(**params)
+
+
 TRACE_BUILDERS: Dict[str, TraceBuilder] = {
     "spec": spec_workload,
     "graphics": graphics_workload,
     "battery_life": battery_life_workload,
     "corpus": _build_corpus_trace,
+    "scenario": _build_scenario_trace,
 }
 
 

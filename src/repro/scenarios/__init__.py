@@ -1,0 +1,50 @@
+"""Seeded scenario synthesis: composable phase generators and a named catalog.
+
+The paper's evaluation leans on workload *diversity*: Sec. 4.2 calibrates the
+demand predictor on a 1600-workload corpus, and Fig. 3 shows bandwidth demand
+swinging sharply over time within a single workload.  The hand-built traces in
+:mod:`repro.workloads` replay the paper's figures; this package goes further
+and *synthesizes* workloads, so the reproduced policy can be stress-tested on
+an unbounded scenario space:
+
+* :mod:`repro.scenarios.generators` -- parameterized phase-pattern generators
+  (bursty, periodic, ramp, idle-heavy, memory-thrash, graphics-interference,
+  io-streaming, plus composites), each a pure function of a seeded
+  ``numpy.random.Generator``;
+* :mod:`repro.scenarios.compose` -- operators (``concat``, ``interleave``,
+  ``scale_duration``, ``mix``, ``repeat``) that build complex scenarios from
+  primitives;
+* :mod:`repro.scenarios.markov` -- a phase-transition Markov model producing
+  long traces with realistic dwell/recurrence structure (the Fig. 3 shape);
+* :mod:`repro.scenarios.registry` -- :class:`ScenarioSpec` (generator +
+  JSON-scalar params + seed) and the named :data:`SCENARIOS` catalog, bridged
+  into ``repro.runtime.jobs.TRACE_BUILDERS`` so every synthesized scenario is
+  cacheable, dedupable, and process-safe exactly like a built-in trace.
+"""
+
+from repro.scenarios.compose import concat, interleave, mix, repeat, scale_duration
+from repro.scenarios.generators import GENERATORS, GeneratorInfo
+from repro.scenarios.markov import MARKOV_MODELS, MarkovState, PhaseMarkovModel
+from repro.scenarios.registry import (
+    SCENARIOS,
+    ScenarioSpec,
+    build_scenario_trace,
+    catalog_trace_specs,
+)
+
+__all__ = [
+    "GENERATORS",
+    "GeneratorInfo",
+    "MARKOV_MODELS",
+    "MarkovState",
+    "PhaseMarkovModel",
+    "SCENARIOS",
+    "ScenarioSpec",
+    "build_scenario_trace",
+    "catalog_trace_specs",
+    "concat",
+    "interleave",
+    "mix",
+    "repeat",
+    "scale_duration",
+]

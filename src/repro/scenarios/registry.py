@@ -1,0 +1,290 @@
+"""The scenario registry: named, content-hashed, runtime-native specs.
+
+A :class:`ScenarioSpec` is the declarative form of one synthesized workload:
+a generator name, JSON-scalar parameters, and a seed.  Building it twice --
+in this process, a worker process, or next week -- yields bit-identical
+traces, so a spec can flow through the runtime exactly like a built-in
+workload: ``spec.trace_spec()`` returns a ``TraceSpec`` for the ``scenario``
+builder that :mod:`repro.runtime.jobs` registers in ``TRACE_BUILDERS``, which
+makes every synthesized scenario cacheable, dedupable, and process-safe.
+
+:data:`SCENARIOS` is the named catalog the ``scenarios`` campaign, the
+robustness experiment, and the ``python -m repro scenarios`` CLI all draw
+from.  Catalog entries are plain specs; nothing stops an experiment from
+minting ad-hoc specs (new seeds, new parameters) beyond the catalog.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+# Importing the sibling modules registers their generators (markov included).
+from repro import config
+from repro.runtime.jobs import (
+    Params,
+    TraceSpec,
+    _normalize_params,
+    _params_to_jsonable,
+    content_hash,
+)
+from repro.scenarios import markov as _markov  # noqa: F401  (registers "markov")
+from repro.scenarios.generators import GENERATORS
+from repro.workloads.trace import WorkloadTrace
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One synthesized workload: generator + JSON-scalar params + seed."""
+
+    name: str
+    generator: str
+    seed: int = config.DEFAULT_SEED
+    params: Params = ()
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("scenario name must be non-empty")
+        if self.generator not in GENERATORS:
+            raise KeyError(
+                f"unknown generator {self.generator!r}; known: {sorted(GENERATORS)}"
+            )
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool) or self.seed < 0:
+            raise ValueError(f"scenario {self.name!r}: seed must be a non-negative int")
+
+    @classmethod
+    def make(
+        cls,
+        name: str,
+        generator: str,
+        seed: int = config.DEFAULT_SEED,
+        description: str = "",
+        **params: Any,
+    ) -> "ScenarioSpec":
+        """Build a spec from keyword parameters (order-insensitive)."""
+        return cls(
+            name=name,
+            generator=generator,
+            seed=seed,
+            params=_normalize_params(params),
+            description=description,
+        )
+
+    # ------------------------------------------------------------------
+    # Materialization
+    # ------------------------------------------------------------------
+    def build(self) -> WorkloadTrace:
+        """Synthesize the trace (deterministic: pure function of the spec)."""
+        info = GENERATORS[self.generator]
+        rng = np.random.default_rng(self.seed)
+        phases = info.fn(rng, **{key: value for key, value in self.params})
+        # The trace description comes from the generator, not the catalog
+        # entry: `trace_spec()` does not carry the description (it must not
+        # affect content hashes), so a worker rebuilding the trace from the
+        # runtime spec has to produce a bit-identical object.
+        return WorkloadTrace(
+            name=f"scenario:{self.name}",
+            workload_class=info.workload_class,
+            phases=tuple(phases),
+            metric=info.metric,
+            description=f"synthesized scenario ({info.summary})",
+        )
+
+    def trace_spec(self) -> TraceSpec:
+        """The runtime-native trace spec (builder ``scenario``).
+
+        The spec carries the *full* scenario definition -- generator, seed,
+        parameters -- not just the catalog name, so job content hashes are
+        self-describing: editing a catalog entry changes the hash, and a
+        worker process can rebuild the trace without the catalog at all.
+        """
+        return TraceSpec.make(
+            "scenario",
+            name=self.name,
+            generator=self.generator,
+            seed=self.seed,
+            **{key: value for key, value in self.params},
+        )
+
+    @property
+    def content_hash(self) -> str:
+        """Hash of what the runtime hashes: the full trace-spec payload."""
+        return content_hash(self.trace_spec().to_dict())
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "generator": self.generator,
+            "seed": self.seed,
+            "params": _params_to_jsonable(self.params),
+            "description": self.description,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ScenarioSpec":
+        return cls.make(
+            data["name"],
+            data["generator"],
+            seed=data.get("seed", config.DEFAULT_SEED),
+            description=data.get("description", ""),
+            **data.get("params", {}),
+        )
+
+
+def build_scenario_trace(
+    name: str = "anonymous",
+    generator: str = "bursty",
+    seed: int = config.DEFAULT_SEED,
+    **params: Any,
+) -> WorkloadTrace:
+    """The ``scenario`` trace builder (see ``repro.runtime.jobs.TRACE_BUILDERS``)."""
+    return ScenarioSpec.make(name, generator, seed=seed, **params).build()
+
+
+# ---------------------------------------------------------------------------
+# The catalog
+# ---------------------------------------------------------------------------
+
+
+def _catalog(entries: Iterable[ScenarioSpec]) -> Dict[str, ScenarioSpec]:
+    catalog: Dict[str, ScenarioSpec] = {}
+    for spec in entries:
+        if spec.name in catalog:
+            raise ValueError(f"duplicate scenario name {spec.name!r}")
+        catalog[spec.name] = spec
+    return catalog
+
+
+#: The named scenario catalog: >= 20 scenarios spanning every generator family,
+#: with deliberately varied seeds so equal parameters still produce distinct
+#: workloads.
+SCENARIOS: Dict[str, ScenarioSpec] = _catalog(
+    [
+        # -- bursty ----------------------------------------------------
+        ScenarioSpec.make(
+            "bursty-light", "bursty", seed=101, burst_gbps=10.0, burst_fraction=0.25,
+            description="mild memory bursts over a compute floor",
+        ),
+        ScenarioSpec.make(
+            "bursty-heavy", "bursty", seed=102, burst_gbps=20.0, burst_fraction=0.5,
+            description="deep, frequent memory bursts near the interface ceiling",
+        ),
+        ScenarioSpec.make(
+            "bursty-long", "bursty", seed=103, duration=2.0, segments=16,
+            description="a long bursty span (twice the default horizon)",
+        ),
+        # -- periodic --------------------------------------------------
+        ScenarioSpec.make(
+            "periodic-fast", "periodic", seed=111, period=0.06,
+            description="square wave at twice the evaluation-interval rate",
+        ),
+        ScenarioSpec.make(
+            "periodic-slow", "periodic", seed=112, period=0.24,
+            description="slow square wave: whole evaluation windows per level",
+        ),
+        ScenarioSpec.make(
+            "periodic-highduty", "periodic", seed=113, duty_cycle=0.7,
+            description="demand high 70% of every period",
+        ),
+        # -- ramps -----------------------------------------------------
+        ScenarioSpec.make(
+            "ramp-up", "ramp", seed=121, start_gbps=1.0, end_gbps=18.0,
+            description="demand ramping from idle toward the ceiling",
+        ),
+        ScenarioSpec.make(
+            "ramp-down", "ramp", seed=122, start_gbps=18.0, end_gbps=1.0,
+            description="demand decaying from the ceiling toward idle",
+        ),
+        ScenarioSpec.make(
+            "sawtooth-3", "sawtooth", seed=123, teeth=3,
+            description="three ramp teeth, each forcing an up/down transition",
+        ),
+        # -- idle-heavy ------------------------------------------------
+        ScenarioSpec.make(
+            "idle-mostly", "idle_heavy", seed=131, active_fraction=0.15,
+            description="mostly deep package idle with brief wakeups",
+        ),
+        ScenarioSpec.make(
+            "idle-busy", "idle_heavy", seed=132, active_fraction=0.45,
+            description="idle-structured but nearly half active",
+        ),
+        # -- memory thrash ---------------------------------------------
+        ScenarioSpec.make(
+            "thrash-sustained", "memory_thrash", seed=141,
+            description="sustained near-ceiling demand: never scale down",
+        ),
+        ScenarioSpec.make(
+            "thrash-spiky", "memory_thrash", seed=142, segments=12, demand_gbps=18.0,
+            description="many short thrash segments with jittered intensity",
+        ),
+        # -- graphics interference -------------------------------------
+        ScenarioSpec.make(
+            "gfx-interference-light", "graphics_interference", seed=151, cpu_gbps=3.0,
+            description="render loop with light CPU contention",
+        ),
+        ScenarioSpec.make(
+            "gfx-interference-heavy", "graphics_interference", seed=152,
+            cpu_gbps=8.0, gfx_gbps=10.0,
+            description="render loop fighting a bandwidth-hungry CPU",
+        ),
+        # -- IO streaming ----------------------------------------------
+        ScenarioSpec.make(
+            "io-stream-hd", "io_streaming", seed=161, stream_gbps=2.4,
+            description="HD-class isochronous streaming",
+        ),
+        ScenarioSpec.make(
+            "io-stream-4k", "io_streaming", seed=162, stream_gbps=6.2,
+            description="4K-class isochronous streaming",
+        ),
+        # -- composites ------------------------------------------------
+        ScenarioSpec.make(
+            "burst-then-idle", "burst_then_idle", seed=171,
+            description="race-to-idle: a bursty span then an idle tail",
+        ),
+        ScenarioSpec.make(
+            "gfx-plus-stream", "coresident_gfx_stream", seed=172,
+            description="graphics and streaming co-resident on one SoC",
+        ),
+        ScenarioSpec.make(
+            "interleaved-thrash", "interleaved_thrash", seed=173,
+            description="predictable wave interleaved with worst-case thrash",
+        ),
+        # -- Markov walks ----------------------------------------------
+        ScenarioSpec.make(
+            "markov-mobile-day", "markov", seed=181, model="mobile_day",
+            description="the Fig. 3 shape: idle/browse/video/compute/thrash walk",
+        ),
+        ScenarioSpec.make(
+            "markov-office", "markov", seed=182, model="office",
+            description="productivity walk: idle, typing, recalc, IO flushes",
+        ),
+        ScenarioSpec.make(
+            "markov-thrash-cycle", "markov", seed=183, model="thrash_cycle", duration=1.5,
+            description="adversarial walk between compute and sticky thrash",
+        ),
+        ScenarioSpec.make(
+            "markov-mobile-alt-seed", "markov", seed=184, model="mobile_day",
+            description="a second mobile-day walk from a different seed",
+        ),
+    ]
+)
+
+
+def catalog_trace_specs(names: Optional[Iterable[str]] = None) -> List[TraceSpec]:
+    """Trace specs for ``names`` (default: the whole catalog, sorted)."""
+    if names is None:
+        names = sorted(SCENARIOS)
+    specs: List[TraceSpec] = []
+    for name in names:
+        if name not in SCENARIOS:
+            raise KeyError(
+                f"unknown scenario {name!r}; known: {sorted(SCENARIOS)}"
+            )
+        specs.append(SCENARIOS[name].trace_spec())
+    return specs

@@ -78,25 +78,58 @@ class Phase:
     active_cores: int = config.SKYLAKE_CORE_COUNT
     residency: CStateResidency = field(default_factory=CStateResidency.active_only)
 
+    #: The six bottleneck-fraction field names, in ``fraction_vector`` order.
+    FRACTION_FIELDS = (
+        "compute_fraction",
+        "gfx_fraction",
+        "memory_latency_fraction",
+        "memory_bandwidth_fraction",
+        "io_fraction",
+        "other_fraction",
+    )
+
     def __post_init__(self) -> None:
+        # Validation names the offending field: synthesized phases (see
+        # repro.scenarios) must fail loudly here, not corrupt a simulation.
         if self.duration <= 0:
-            raise ValueError("phase duration must be positive")
-        fractions = self.fraction_vector()
-        if any(f < -1e-12 for f in fractions):
-            raise ValueError("bottleneck fractions must be non-negative")
-        total = sum(fractions)
-        if abs(total - 1.0) > 1e-6:
             raise ValueError(
-                f"bottleneck fractions of phase {self.name!r} must sum to 1, got {total:.6f}"
+                f"phase {self.name!r}: duration must be positive, got {self.duration}"
             )
-        for name in ("cpu_bandwidth_demand", "gfx_bandwidth_demand", "io_bandwidth_demand"):
-            if getattr(self, name) < 0:
-                raise ValueError(f"{name} must be non-negative")
-        for name in ("cpu_activity", "gfx_activity", "io_activity"):
-            if not 0.0 <= getattr(self, name) <= 1.0:
-                raise ValueError(f"{name} must be in [0, 1]")
+        for field_name in self.FRACTION_FIELDS:
+            if getattr(self, field_name) < -1e-12:
+                raise ValueError(
+                    f"phase {self.name!r}: {field_name} must be non-negative, "
+                    f"got {getattr(self, field_name)}"
+                )
+        total = sum(self.fraction_vector())
+        if abs(total - 1.0) > 1e-6:
+            detail = ", ".join(
+                f"{field_name}={getattr(self, field_name):.6f}"
+                for field_name in self.FRACTION_FIELDS
+            )
+            raise ValueError(
+                f"phase {self.name!r}: bottleneck fractions must sum to 1, "
+                f"got {total:.6f} ({detail})"
+            )
+        for field_name in (
+            "cpu_bandwidth_demand", "gfx_bandwidth_demand", "io_bandwidth_demand"
+        ):
+            if getattr(self, field_name) < 0:
+                raise ValueError(
+                    f"phase {self.name!r}: {field_name} must be non-negative, "
+                    f"got {getattr(self, field_name)}"
+                )
+        for field_name in ("cpu_activity", "gfx_activity", "io_activity"):
+            if not 0.0 <= getattr(self, field_name) <= 1.0:
+                raise ValueError(
+                    f"phase {self.name!r}: {field_name} must be in [0, 1], "
+                    f"got {getattr(self, field_name)}"
+                )
         if self.active_cores < 0:
-            raise ValueError("active core count must be non-negative")
+            raise ValueError(
+                f"phase {self.name!r}: active_cores must be non-negative, "
+                f"got {self.active_cores}"
+            )
 
     # ------------------------------------------------------------------
     # Derived quantities
@@ -162,11 +195,17 @@ class WorkloadTrace:
 
     def __post_init__(self) -> None:
         if not self.phases:
-            raise ValueError(f"workload {self.name!r} needs at least one phase")
-        if self.reference_cpu_frequency <= 0 or self.reference_gfx_frequency <= 0:
-            raise ValueError("reference frequencies must be positive")
-        if self.reference_dram_frequency <= 0:
-            raise ValueError("reference DRAM frequency must be positive")
+            raise ValueError(f"workload {self.name!r}: needs at least one phase")
+        for field_name in (
+            "reference_cpu_frequency",
+            "reference_gfx_frequency",
+            "reference_dram_frequency",
+        ):
+            if getattr(self, field_name) <= 0:
+                raise ValueError(
+                    f"workload {self.name!r}: {field_name} must be positive, "
+                    f"got {getattr(self, field_name)}"
+                )
 
     # ------------------------------------------------------------------
     # Aggregate characteristics

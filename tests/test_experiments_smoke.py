@@ -39,6 +39,9 @@ TINY_KWARGS = {
         "sim_config": SimulationConfig(max_simulated_time=0.05),
     },
     "run_dram_frequency_sensitivity": {"corpus_size": 4},
+    "run_scenario_robustness": {
+        "subset": ("bursty-heavy", "thrash-sustained", "idle-mostly")
+    },
 }
 
 

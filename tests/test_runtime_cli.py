@@ -41,7 +41,7 @@ class TestRun:
 
         assert main(args) == 0
         warm = capsys.readouterr().out
-        assert "0 simulated" in warm
+        assert ", 0 simulated" in warm
         assert "0 cache hit(s)" not in warm
 
         def averages(output):

@@ -1,0 +1,231 @@
+"""Scenario synthesis: generators, composition operators, Markov models, registry."""
+
+import numpy as np
+import pytest
+
+from repro import config
+from repro.scenarios import (
+    GENERATORS,
+    MARKOV_MODELS,
+    SCENARIOS,
+    PhaseMarkovModel,
+    ScenarioSpec,
+    build_scenario_trace,
+    catalog_trace_specs,
+)
+from repro.scenarios import compose
+from repro.scenarios.generators import CEILING_GBPS, bursty, idle_heavy, make_phase, ramp
+from repro.scenarios.markov import MarkovState
+from repro.workloads.trace import Phase, WorkloadClass
+
+
+def rng(seed: int = 7) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("name", sorted(GENERATORS))
+    def test_every_generator_emits_valid_phases(self, name):
+        phases = GENERATORS[name].fn(rng())
+        assert phases, f"generator {name} emitted no phases"
+        for phase in phases:
+            # Phase.__post_init__ enforces the invariants; re-check the key ones.
+            assert phase.duration > 0
+            assert abs(sum(phase.fraction_vector()) - 1.0) < 1e-6
+            assert phase.memory_bandwidth_demand >= 0
+
+    @pytest.mark.parametrize("name", sorted(GENERATORS))
+    def test_same_seed_is_bit_identical(self, name):
+        fn = GENERATORS[name].fn
+        assert fn(rng(42)) == fn(rng(42))
+
+    @pytest.mark.parametrize("name", sorted(GENERATORS))
+    def test_different_seeds_differ(self, name):
+        fn = GENERATORS[name].fn
+        assert fn(rng(1)) != fn(rng(2))
+
+    def test_bursty_duration_and_demand(self):
+        phases = bursty(rng(), duration=2.0, segments=4, burst_gbps=18.0)
+        assert sum(p.duration for p in phases) == pytest.approx(2.0)
+        peak = max(p.memory_bandwidth_demand for p in phases)
+        assert peak > config.gbps(10.0)
+
+    def test_ramp_is_monotonic_in_expectation(self):
+        phases = ramp(rng(), start_gbps=1.0, end_gbps=18.0, steps=6)
+        demands = [p.memory_bandwidth_demand for p in phases]
+        assert demands[-1] > demands[0] * 5
+
+    def test_idle_heavy_has_deep_idle_residency(self):
+        phases = idle_heavy(rng())
+        from repro.power.cstates import CState
+
+        deep = [p for p in phases if p.residency.fraction(CState.C8) > 0.5]
+        assert deep, "idle-heavy scenario has no deep-idle phases"
+
+    def test_invalid_parameters_fail_loudly(self):
+        with pytest.raises(ValueError):
+            bursty(rng(), duration=-1.0)
+        with pytest.raises(ValueError):
+            bursty(rng(), burst_fraction=1.5)
+        with pytest.raises(ValueError):
+            ramp(rng(), steps=1)
+        with pytest.raises(ValueError):
+            bursty(rng(), duration=0.01, segments=50)
+
+    def test_make_phase_scales_overweight_fractions(self):
+        phase = make_phase("x", 0.1, compute=0.9, memory_bandwidth=0.9)
+        assert abs(sum(phase.fraction_vector()) - 1.0) < 1e-9
+        assert phase.other_fraction > 0
+
+
+class TestCompose:
+    def phases(self, seed=3):
+        return bursty(rng(seed), segments=2)
+
+    def test_concat_preserves_order_and_duration(self):
+        a, b = self.phases(1), self.phases(2)
+        joined = compose.concat(a, b)
+        assert list(joined) == list(a) + list(b)
+
+    def test_repeat_renames_and_multiplies_duration(self):
+        a = self.phases()
+        tripled = compose.repeat(a, 3)
+        assert len(tripled) == 3 * len(a)
+        assert sum(p.duration for p in tripled) == pytest.approx(
+            3 * sum(p.duration for p in a)
+        )
+        assert len({p.name for p in tripled}) == len(tripled)
+
+    def test_scale_duration(self):
+        a = self.phases()
+        halved = compose.scale_duration(a, 0.5)
+        assert sum(p.duration for p in halved) == pytest.approx(
+            0.5 * sum(p.duration for p in a)
+        )
+        with pytest.raises(ValueError):
+            compose.scale_duration(a, 0.0)
+
+    def test_interleave_round_robin(self):
+        a, b = self.phases(1), self.phases(2)
+        woven = compose.interleave(a, b)
+        assert len(woven) == len(a) + len(b)
+        assert woven[0] == a[0] and woven[1] == b[0]
+        with pytest.raises(ValueError):
+            compose.interleave(a)
+
+    def test_mix_blends_fractions_and_demands(self):
+        a, b = self.phases(1), self.phases(2)
+        total = min(sum(p.duration for p in a), sum(p.duration for p in b))
+        mixed = compose.mix(a, b, weight=0.5)
+        assert sum(p.duration for p in mixed) == pytest.approx(total)
+        for phase in mixed:
+            assert abs(sum(phase.fraction_vector()) - 1.0) < 1e-9
+
+    def test_mix_weight_one_reduces_to_a(self):
+        a, b = self.phases(1), self.phases(2)
+        mixed = compose.mix(a, b, weight=1.0)
+        sample = mixed[0]
+        assert sample.cpu_bandwidth_demand == pytest.approx(a[0].cpu_bandwidth_demand)
+        assert sample.compute_fraction == pytest.approx(a[0].compute_fraction)
+
+    def test_mix_rejects_bad_weight(self):
+        a, b = self.phases(1), self.phases(2)
+        with pytest.raises(ValueError):
+            compose.mix(a, b, weight=1.5)
+
+    def test_empty_sequences_rejected(self):
+        with pytest.raises(ValueError):
+            compose.concat([])
+        with pytest.raises(ValueError):
+            compose.repeat([], 2)
+
+
+class TestMarkov:
+    def test_models_are_row_stochastic_by_construction(self):
+        for model in MARKOV_MODELS.values():
+            for row in model.transitions:
+                assert sum(row) == pytest.approx(1.0)
+
+    def test_generate_covers_duration_deterministically(self):
+        model = MARKOV_MODELS["mobile_day"]
+        phases = model.generate(rng(5), duration=3.0)
+        assert sum(p.duration for p in phases) == pytest.approx(3.0)
+        assert phases == model.generate(rng(5), duration=3.0)
+        assert phases != model.generate(rng(6), duration=3.0)
+
+    def test_generate_visits_multiple_states(self):
+        phases = MARKOV_MODELS["mobile_day"].generate(rng(5), duration=5.0)
+        stems = {p.name.rsplit("_", 1)[0] for p in phases}
+        assert len(stems) >= 3
+
+    def test_invalid_model_rejected(self):
+        state = MarkovState("only", mean_dwell=0.1, compute=0.5)
+        with pytest.raises(ValueError):
+            PhaseMarkovModel(name="bad", states=(state,), transitions=((0.5,),))
+        with pytest.raises(ValueError):
+            PhaseMarkovModel(
+                name="bad", states=(state,), transitions=((1.0,),), initial=(0.4,)
+            )
+
+    def test_unknown_model_name(self):
+        with pytest.raises(KeyError):
+            GENERATORS["markov"].fn(rng(), model="nope")
+
+
+class TestRegistry:
+    def test_catalog_size_and_coverage(self):
+        assert len(SCENARIOS) >= 20
+        used = {spec.generator for spec in SCENARIOS.values()}
+        assert used == set(GENERATORS), "catalog does not exercise every generator"
+
+    def test_every_scenario_builds_a_valid_trace(self):
+        for name, spec in SCENARIOS.items():
+            trace = spec.build()
+            assert trace.name == f"scenario:{name}"
+            assert trace.total_duration > 0
+            assert trace.workload_class is GENERATORS[spec.generator].workload_class
+
+    def test_build_is_deterministic(self):
+        spec = SCENARIOS["markov-mobile-day"]
+        assert spec.build() == spec.build()
+
+    def test_content_hash_differs_across_catalog(self):
+        hashes = {spec.content_hash for spec in SCENARIOS.values()}
+        assert len(hashes) == len(SCENARIOS)
+
+    def test_seed_changes_hash_and_trace(self):
+        base = ScenarioSpec.make("x", "bursty", seed=1)
+        other = ScenarioSpec.make("x", "bursty", seed=2)
+        assert base.content_hash != other.content_hash
+        assert base.build() != other.build()
+
+    def test_round_trip(self):
+        spec = SCENARIOS["gfx-plus-stream"]
+        rebuilt = ScenarioSpec.from_dict(spec.to_dict())
+        assert rebuilt == spec
+        assert rebuilt.content_hash == spec.content_hash
+
+    def test_description_does_not_change_hash(self):
+        a = ScenarioSpec.make("x", "bursty", seed=1, description="one")
+        b = ScenarioSpec.make("x", "bursty", seed=1, description="two")
+        assert a.content_hash == b.content_hash
+
+    def test_unknown_generator_rejected(self):
+        with pytest.raises(KeyError):
+            ScenarioSpec.make("x", "not_a_generator")
+
+    def test_bad_seed_rejected(self):
+        with pytest.raises(ValueError):
+            ScenarioSpec.make("x", "bursty", seed=-1)
+
+    def test_build_scenario_trace_matches_spec_build(self):
+        spec = SCENARIOS["ramp-up"]
+        direct = build_scenario_trace(
+            name=spec.name, generator=spec.generator, seed=spec.seed,
+            **{key: value for key, value in spec.params},
+        )
+        assert direct == spec.build()
+
+    def test_catalog_trace_specs_rejects_unknown_names(self):
+        with pytest.raises(KeyError):
+            catalog_trace_specs(["no-such-scenario"])

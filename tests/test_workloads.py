@@ -29,6 +29,41 @@ class TestPhase:
         with pytest.raises(ValueError):
             Phase(name="bad", duration=1.0, compute_fraction=0.5, other_fraction=0.6)
 
+    def test_validation_names_offending_field(self):
+        """Synthesis must fail loudly with the bad field (and phase) named."""
+        with pytest.raises(ValueError, match=r"'bad'.*duration"):
+            Phase(name="bad", duration=0.0, compute_fraction=1.0)
+        with pytest.raises(ValueError, match=r"'bad'.*gfx_fraction"):
+            Phase(
+                name="bad", duration=1.0, compute_fraction=1.2,
+                gfx_fraction=-0.2,
+            )
+        with pytest.raises(ValueError, match=r"'bad'.*sum to 1.*compute_fraction=0.5"):
+            Phase(name="bad", duration=1.0, compute_fraction=0.5, other_fraction=0.6)
+        with pytest.raises(ValueError, match=r"'bad'.*io_bandwidth_demand"):
+            Phase(
+                name="bad", duration=1.0, compute_fraction=1.0,
+                io_bandwidth_demand=-1.0,
+            )
+        with pytest.raises(ValueError, match=r"'bad'.*gfx_activity"):
+            Phase(name="bad", duration=1.0, compute_fraction=1.0, gfx_activity=1.5)
+        with pytest.raises(ValueError, match=r"'bad'.*active_cores"):
+            Phase(name="bad", duration=1.0, compute_fraction=1.0, active_cores=-1)
+
+    def test_trace_validation_names_offending_field(self):
+        from repro.workloads.trace import WorkloadTrace
+
+        phase = Phase(name="p", duration=1.0, compute_fraction=1.0)
+        with pytest.raises(ValueError, match=r"'bad'.*at least one phase"):
+            WorkloadTrace(
+                name="bad", workload_class=WorkloadClass.CPU_SINGLE_THREAD, phases=(),
+            )
+        with pytest.raises(ValueError, match=r"'bad'.*reference_dram_frequency"):
+            WorkloadTrace(
+                name="bad", workload_class=WorkloadClass.CPU_SINGLE_THREAD,
+                phases=(phase,), reference_dram_frequency=0.0,
+            )
+
     def test_memory_bandwidth_demand_is_sum(self):
         phase = Phase(
             name="p", duration=1.0, compute_fraction=1.0,
