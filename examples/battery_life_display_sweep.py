@@ -6,7 +6,9 @@ peripheral configuration registers (Sec. 4.2): with one HD panel SysScale can ho
 the low operating point for most of a video-playback session, while a 4K panel's
 scanout traffic exceeds the static-demand threshold and forces the high operating
 point, shrinking the savings.  This example sweeps the display configurations of
-Fig. 3(b) and reports the per-configuration average power and savings.
+Fig. 3(b) through ``Session.simulate`` (the ``peripherals`` parameter names a
+registered configuration) and reports the per-configuration average power and
+savings.
 
 Run with::
 
@@ -15,27 +17,31 @@ Run with::
 
 from __future__ import annotations
 
-from repro.baselines import FixedBaselinePolicy
-from repro.experiments import build_context
+from repro.api import Session
 from repro.workloads import battery_life_workload
 from repro.workloads.io_devices import STANDARD_CONFIGURATIONS
 
 CONFIGURATIONS = ("no_display", "single_hd", "single_fhd", "triple_hd", "single_4k")
 
+WORKLOAD = "video_playback"
+
 
 def main() -> None:
-    print("Building the experiment context ...")
-    context = build_context()
-    engine = context.engine
-    trace = battery_life_workload("video_playback")
+    print("Building the session ...")
+    session = Session()
+    trace = battery_life_workload(WORKLOAD)
 
     print(f"\nWorkload: {trace.name} ({trace.description})")
     print(f"{'configuration':15s} {'static BW':>10s} {'baseline':>9s} {'SysScale':>9s} "
           f"{'saving':>8s} {'low residency':>14s}")
     for name in CONFIGURATIONS:
         peripherals = STANDARD_CONFIGURATIONS[name]
-        baseline = engine.run(trace, FixedBaselinePolicy(), peripherals=peripherals)
-        sysscale = engine.run(trace, context.sysscale(), peripherals=peripherals)
+        baseline = session.simulate(
+            "battery_life", "baseline", name=WORKLOAD, peripherals=name
+        )
+        sysscale = session.simulate(
+            "battery_life", "sysscale", name=WORKLOAD, peripherals=name
+        )
         saving = sysscale.power_reduction_vs(baseline)
         print(
             f"{name:15s} {peripherals.static_bandwidth_demand / 1e9:8.1f}GB {baseline.average_power:8.2f}W "
@@ -48,6 +54,7 @@ def main() -> None:
         "panel's scanout bandwidth forces the high operating point and the savings\n"
         "disappear -- demand misprediction would otherwise break the display's QoS."
     )
+    print(f"\nruntime: {session.summary()}")
 
 
 if __name__ == "__main__":

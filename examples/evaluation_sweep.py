@@ -6,10 +6,12 @@ battery-life workloads under the baseline, SysScale, and the projected
 MemScale-Redist / CoScale-Redist comparison points, then prints the per-workload
 rows and the averages next to the numbers the paper reports.
 
-All simulations go through the ``repro.runtime`` executor: ``--jobs N`` fans
-them out over N worker processes, and the content-addressed result cache makes
-warm reruns near-instant (the summary line reports how many simulations were
-served from cache).
+Everything goes through the :class:`repro.api.Session` facade: ``--jobs N``
+fans the simulations out over N worker processes, and the content-addressed
+result cache makes warm reruns near-instant (the summary line reports how many
+simulations were served from cache).  Each figure comes back as a structured
+``ExperimentReport`` whose tables/metrics are read by key -- the same document
+``python -m repro run fig7 --json`` exports.
 
 Run with::
 
@@ -23,17 +25,9 @@ from __future__ import annotations
 
 import argparse
 
-from repro.experiments import (
-    ExperimentRuntime,
-    build_context,
-    format_table,
-    run_fig7_spec,
-    run_fig8_graphics,
-    run_fig9_battery_life,
-)
-from repro.runtime import ResultCache, make_executor
+from repro.api import Session
+from repro.experiments import format_table
 from repro.runtime.cache import default_cache_dir
-from repro.runtime.campaign import QUICK_SPEC_SUBSET as QUICK_SUBSET
 
 PAPER_NUMBERS = {
     "fig7": {"memscale_redist": 0.017, "coscale_redist": 0.038, "sysscale": 0.092},
@@ -59,19 +53,17 @@ def main() -> None:
     parser.add_argument("--no-cache", action="store_true", help="disable the result cache")
     args = parser.parse_args()
 
-    runtime = ExperimentRuntime(
-        executor=make_executor(args.jobs),
-        cache=None if args.no_cache else ResultCache(args.cache_dir),
-    )
-
-    print("Building the experiment context (platform + threshold calibration) ...")
-    context = build_context(
-        workload_duration=0.5 if args.quick else 1.0, runtime=runtime
+    print("Building the session (platform + threshold calibration) ...")
+    session = Session(
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        cache=not args.no_cache,
+        duration=0.5 if args.quick else 1.0,
     )
 
     # ---- Fig. 7: SPEC CPU2006 ------------------------------------------------
     print("\nRunning the SPEC CPU2006 evaluation (Fig. 7) ...")
-    fig7 = run_fig7_spec(context, subset=QUICK_SUBSET if args.quick else None)
+    fig7 = session.run("fig7", quick=args.quick)
     print(format_table(fig7["rows"], ["workload", "memscale_redist", "coscale_redist", "sysscale"]))
     print("averages (measured vs. paper):")
     for technique, paper_value in PAPER_NUMBERS["fig7"].items():
@@ -79,7 +71,7 @@ def main() -> None:
 
     # ---- Fig. 8: 3DMark --------------------------------------------------------
     print("\nRunning the 3DMark evaluation (Fig. 8) ...")
-    fig8 = run_fig8_graphics(context)
+    fig8 = session.run("fig8")
     print(format_table(fig8["rows"], ["workload", "memscale_redist", "coscale_redist", "sysscale"]))
     for row in fig8["rows"]:
         paper_value = PAPER_NUMBERS["fig8"][row["workload"]]
@@ -87,7 +79,7 @@ def main() -> None:
 
     # ---- Fig. 9: battery life --------------------------------------------------
     print("\nRunning the battery-life evaluation (Fig. 9) ...")
-    fig9 = run_fig9_battery_life(context)
+    fig9 = session.run("fig9")
     print(format_table(
         fig9["rows"],
         ["workload", "baseline_power_w", "memscale_redist", "coscale_redist", "sysscale"],
@@ -97,9 +89,9 @@ def main() -> None:
         print(f"  {row['workload']:20s} {row['sysscale']:6.1%}   (paper {paper_value:.1%})")
 
     # ---- Runtime accounting ----------------------------------------------------
-    print(f"\nruntime: {runtime.summary()}")
-    if runtime.cache is not None:
-        print(f"cache: {runtime.cache.root} ({len(runtime.cache)} entries)")
+    print(f"\nruntime: {session.summary()}")
+    if session.runtime.cache is not None:
+        print(f"cache: {session.runtime.cache.root} ({len(session.runtime.cache)} entries)")
 
 
 if __name__ == "__main__":

@@ -1,10 +1,11 @@
 #!/usr/bin/env python3
 """Quickstart: compare SysScale against the baseline on one SPEC workload.
 
-Builds the Skylake M-6Y75 platform of Table 2, runs a compute-bound and a
-memory-bound SPEC CPU2006 workload under the fixed baseline and under SysScale,
-and prints what SysScale did (operating-point residency, average frequencies,
-performance and power deltas).
+Uses the :class:`repro.api.Session` facade: one object wires up the Skylake
+M-6Y75 platform of Table 2, the offline threshold calibration, and the cached
+experiment runtime.  Each ``session.simulate(trace, policy, ...)`` call runs
+one simulation through that runtime, so repeated runs are served from the
+content-addressed result cache (watch the summary line at the end).
 
 Run with::
 
@@ -13,16 +14,14 @@ Run with::
 
 from __future__ import annotations
 
-from repro import SysScaleController, build_platform, SimulationEngine
-from repro.baselines import FixedBaselinePolicy
-from repro.core.sysscale import default_thresholds
+from repro.api import Session
 from repro.workloads import spec_workload
 
 
-def run_one(engine, platform, thresholds, name: str) -> None:
+def run_one(session: Session, name: str) -> None:
     trace = spec_workload(name, duration=1.0)
-    baseline = engine.run(trace, FixedBaselinePolicy())
-    sysscale = engine.run(trace, SysScaleController(platform=platform, thresholds=thresholds))
+    baseline = session.simulate("spec", "baseline", name=name, duration=1.0)
+    sysscale = session.simulate("spec", "sysscale", name=name, duration=1.0)
 
     improvement = sysscale.performance_improvement_over(baseline)
     print(f"\n{name}")
@@ -38,24 +37,23 @@ def run_one(engine, platform, thresholds, name: str) -> None:
 
 
 def main() -> None:
-    print("Building the Skylake M-6Y75 platform (Table 2) at 4.5 W TDP ...")
-    platform = build_platform(tdp=4.5)
-    engine = SimulationEngine(platform)
+    print("Building the session (Table 2 platform at 4.5 W TDP, cached runtime) ...")
+    session = Session(tdp=4.5)
 
-    print("Calibrating the demand-prediction thresholds offline (Sec. 4.2) ...")
-    thresholds = default_thresholds(platform)
-    print("Calibrated thresholds:")
-    for counter, value in thresholds.as_dict().items():
+    print("Calibrated demand-prediction thresholds (Sec. 4.2):")
+    for counter, value in session.context.thresholds.as_dict().items():
         print(f"  {counter:35s} {value:.3f}")
 
     # A highly scalable workload: SysScale drops the IO/memory domains to the low
     # operating point and hands the freed budget to the CPU cores.
-    run_one(engine, platform, thresholds, "416.gamess")
+    run_one(session, "416.gamess")
     # A bandwidth-saturated workload: the predictor keeps the high operating point
     # and performance is untouched.
-    run_one(engine, platform, thresholds, "470.lbm")
+    run_one(session, "470.lbm")
     # A phase-varying workload: SysScale tracks the phases (Sec. 7.1, 473.astar).
-    run_one(engine, platform, thresholds, "473.astar")
+    run_one(session, "473.astar")
+
+    print(f"\nruntime: {session.summary()}")
 
 
 if __name__ == "__main__":

@@ -6,6 +6,11 @@ under the baseline and SysScale, and prints how the average and maximum benefit
 shrink as the package budget grows -- the paper's conclusion that SysScale helps
 TDP-constrained SoCs most.
 
+The sweep goes through ``Session.run("fig10", subset=...)``: ``subset`` is one
+of the extra parameters the fig10 spec declares (``python -m repro run --help``
+lists them per target), and the returned ``ExperimentReport`` carries the
+distribution table read below.
+
 Run with::
 
     python examples/tdp_scaling.py
@@ -13,7 +18,7 @@ Run with::
 
 from __future__ import annotations
 
-from repro.experiments import run_fig10_tdp_sensitivity
+from repro.api import Session
 
 SUBSET = (
     "400.perlbench", "416.gamess", "429.mcf", "433.milc", "436.cactusADM",
@@ -26,7 +31,8 @@ PAPER_AVERAGES = {3.5: 0.191, 4.5: 0.092}
 
 def main() -> None:
     print("Sweeping TDP points (a fresh platform and calibration per point) ...")
-    result = run_fig10_tdp_sensitivity(subset=SUBSET, workload_duration=0.5)
+    session = Session(duration=0.5)
+    result = session.run("fig10", subset=SUBSET)
 
     print(f"\n{'TDP':>6s} {'average':>9s} {'median':>9s} {'max':>9s}   paper")
     for row in result["rows"]:
@@ -43,6 +49,7 @@ def main() -> None:
         "performance benefit fades -- while its battery-life savings are TDP\n"
         "independent (Sec. 7.4)."
     )
+    print(f"\nruntime: {session.summary()}")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,172 @@
+"""The programmatic facade over the experiment registry and runtime.
+
+:class:`Session` bundles everything the CLI wires together -- executor, result
+cache, platform/context construction -- behind one object, so scripts and
+notebooks drive experiments in two lines::
+
+    from repro.api import Session
+
+    session = Session(jobs=8)                      # 8 worker processes, cached
+    report = session.run("fig7", quick=True)       # an ExperimentReport
+    print(report["average"]["sysscale"])           # legacy dict access works
+    print(session.summary())                       # "... 0 simulated ..." warm
+
+Reports are structured (:class:`~repro.experiments.report.ExperimentReport`);
+export them with :func:`~repro.experiments.report.render_json` /
+:func:`~repro.experiments.report.render_csv` / ``report.to_dict()``.
+
+Single simulations go through the same runtime (and therefore the same cache
+and process pool) via :meth:`Session.simulate`::
+
+    result = session.simulate("spec", "sysscale", name="470.lbm", duration=1.0)
+
+The context -- platform build plus threshold calibration, the expensive part --
+is constructed lazily on first use and shared across every ``run``/``simulate``
+call of the session.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro import config
+from repro.experiments.api import ExperimentSpec, get_spec, registry
+from repro.experiments.report import (
+    ExperimentReport,
+    Metric,
+    RunInfo,
+    Series,
+    Table,
+    render_csv,
+    render_json,
+    render_text,
+)
+from repro.experiments.runner import ExperimentContext, ExperimentRuntime, build_context
+from repro.runtime.cache import ResultCache, default_cache_dir
+from repro.runtime.executor import make_executor
+from repro.runtime.jobs import PolicySpec, TraceSpec
+from repro.sim.engine import SimulationConfig
+from repro.sim.result import SimulationResult
+
+__all__ = [
+    "ExperimentReport",
+    "ExperimentSpec",
+    "Metric",
+    "RunInfo",
+    "Series",
+    "Session",
+    "Table",
+    "registry",
+    "render_csv",
+    "render_json",
+    "render_text",
+]
+
+
+class Session:
+    """One configured runtime + context, shared across experiment runs.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes (1 = serial in-process execution, the default).
+    cache_dir:
+        Result-cache directory; defaults to ``.repro-cache`` (or
+        ``$REPRO_CACHE_DIR``).  Pass ``cache=False`` to disable caching.
+    cache:
+        Whether to consult/populate the content-addressed result cache.
+    tdp:
+        Package TDP in watts for the session platform.
+    duration:
+        Default workload-trace duration in seconds.
+    max_time:
+        Optional cap on simulated time per run (smoke-run scaling).
+    progress:
+        Optional per-job progress callback (see ``repro.runtime.executor``).
+    """
+
+    def __init__(
+        self,
+        *,
+        jobs: int = 1,
+        cache_dir: Optional[str] = None,
+        cache: bool = True,
+        tdp: float = config.SKYLAKE_DEFAULT_TDP,
+        duration: float = 1.0,
+        max_time: Optional[float] = None,
+        progress=None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be at least 1, got {jobs}")
+        self.runtime = ExperimentRuntime(
+            executor=make_executor(jobs),
+            cache=ResultCache(cache_dir or default_cache_dir()) if cache else None,
+            progress=progress,
+        )
+        self._tdp = tdp
+        self._duration = duration
+        self._max_time = max_time
+        self._context: Optional[ExperimentContext] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def context(self) -> ExperimentContext:
+        """The lazily built experiment context (platform + calibration)."""
+        if self._context is None:
+            self._context = build_context(
+                tdp=self._tdp,
+                workload_duration=self._duration,
+                sim_config=(
+                    SimulationConfig(max_simulated_time=self._max_time)
+                    if self._max_time
+                    else None
+                ),
+                runtime=self.runtime,
+            )
+        return self._context
+
+    def run(self, target: str, *, quick: bool = False, **params) -> ExperimentReport:
+        """Run one registered experiment and return its structured report.
+
+        ``params`` are the extra overrides the target's spec declares (e.g.
+        ``subset=...`` for ``fig7``); unknown parameters raise ``TypeError``
+        listing what the spec accepts.
+        """
+        return get_spec(target).run(self.context, quick=quick, **params)
+
+    def simulate(
+        self,
+        trace: str,
+        policy: str = "sysscale",
+        *,
+        peripherals: Optional[str] = None,
+        policy_params: Optional[Dict[str, object]] = None,
+        **trace_params,
+    ) -> SimulationResult:
+        """Run one (trace, policy) simulation through the session runtime.
+
+        ``trace`` and ``policy`` are registered builder names (see ``python -m
+        repro list``); ``trace_params`` are the builder's keyword parameters::
+
+            session.simulate("spec", "baseline", name="470.lbm", duration=0.5)
+            session.simulate("battery_life", name="video_playback",
+                             peripherals="single_4k")
+        """
+        job = self.context.simulation_job(
+            TraceSpec.make(trace, **trace_params),
+            PolicySpec.make(policy, **(policy_params or {})),
+            peripherals=peripherals,
+        )
+        return self.runtime.simulate([job])[0]
+
+    def specs(self) -> Dict[str, ExperimentSpec]:
+        """Every registered experiment spec, by target name."""
+        return dict(registry())
+
+    def summary(self) -> str:
+        """The runtime accounting line (submitted / unique / simulated / hits)."""
+        return self.runtime.summary()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        cache = self.runtime.cache.root if self.runtime.cache else "disabled"
+        return f"Session(runtime={self.runtime.summary()!r}, cache={cache!r})"

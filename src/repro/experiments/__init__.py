@@ -1,17 +1,38 @@
 """Experiment harness: one module per table/figure of the paper's evaluation.
 
-Each experiment module exposes a ``run_*`` function returning a plain-dict result
-(rows/series mirroring what the paper reports) and a ``format_*`` helper that turns
-it into a printable table.  The benchmark suite (``benchmarks/``) calls these
-functions so every table and figure can be regenerated with
-``pytest benchmarks/ --benchmark-only`` or by running the example scripts.
+Each experiment module exposes a ``run_*`` function returning a structured
+:class:`~repro.experiments.report.ExperimentReport` (typed ``Table`` /
+``Series`` / ``Metric`` blocks plus run metadata; the report also supports
+read-only dict access over the pre-report legacy shape), and registers itself
+in the :mod:`repro.experiments.api` registry with an :func:`@experiment
+<repro.experiments.api.experiment>` decorator.  The ``python -m repro`` CLI,
+the :class:`repro.api.Session` facade, and the benchmark suite
+(``benchmarks/``) are all generated from / driven by that registry.
 """
 
+from repro.experiments.api import (
+    CONTEXT_FLAGS,
+    REGISTRY,
+    ExperimentSpec,
+    experiment,
+    get_spec,
+    registry,
+)
+from repro.experiments.report import (
+    ExperimentReport,
+    Metric,
+    RunInfo,
+    Series,
+    Table,
+    format_table,
+    render_csv,
+    render_json,
+    render_text,
+)
 from repro.experiments.runner import (
     ExperimentContext,
     ExperimentRuntime,
     build_context,
-    format_table,
 )
 from repro.experiments.table1 import run_table1
 from repro.experiments.table2 import run_table2
@@ -28,10 +49,24 @@ from repro.experiments.scenario_robustness import run_scenario_robustness
 from repro.experiments.sensitivity import run_dram_frequency_sensitivity
 
 __all__ = [
+    "CONTEXT_FLAGS",
+    "REGISTRY",
     "ExperimentContext",
+    "ExperimentReport",
     "ExperimentRuntime",
+    "ExperimentSpec",
+    "Metric",
+    "RunInfo",
+    "Series",
+    "Table",
     "build_context",
+    "experiment",
     "format_table",
+    "get_spec",
+    "registry",
+    "render_csv",
+    "render_json",
+    "render_text",
     "run_table1",
     "run_table2",
     "run_fig2_motivation",

@@ -1,0 +1,159 @@
+"""The experiment registry: typed specs behind every table/figure entry point.
+
+Each experiment module registers itself with the :func:`experiment` decorator::
+
+    @experiment(
+        "fig7",
+        title="Fig. 7: SPEC CPU2006 performance improvement",
+        flags=("--duration", "--tdp"),
+        quick="12-benchmark representative SPEC subset",
+        params=("subset",),
+    )
+    def _fig7(context, quick, **overrides):
+        ...
+        return ExperimentReport(...)
+
+The registered :class:`ExperimentSpec` is the single source of truth the CLI is
+generated from: target names, per-target help text, which context flags an
+experiment honors (the ignored-flags warnings are *derived* -- see
+:attr:`ExperimentSpec.ignored_flags` -- instead of hand-synced), what
+``--quick`` does, and which extra keyword parameters the programmatic API
+(:class:`repro.api.Session`) accepts for it.
+
+Specs live in their experiment modules, so the registry is complete exactly
+when ``repro.experiments`` is imported; :func:`registry` forces that import.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.experiments.report import ExperimentReport
+from repro.experiments.runner import ExperimentContext
+
+#: Context flags the ``run`` CLI exposes that not every experiment honors.
+CONTEXT_FLAGS: Tuple[str, ...] = ("--duration", "--tdp")
+
+#: A registered entry point: ``fn(context, quick, **overrides) -> ExperimentReport``.
+ExperimentRunner = Callable[..., ExperimentReport]
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One registered experiment: identity, CLI surface, and entry point."""
+
+    name: str
+    title: str
+    runner: ExperimentRunner
+    description: str = ""
+    #: The context flags (subset of :data:`CONTEXT_FLAGS`) this experiment honors.
+    flags: Tuple[str, ...] = CONTEXT_FLAGS
+    #: What ``--quick`` changes, or ``None`` if quick mode has no effect.
+    quick: Optional[str] = None
+    #: Extra keyword overrides the runner accepts (Session API parameters).
+    params: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        unknown = tuple(flag for flag in self.flags if flag not in CONTEXT_FLAGS)
+        if unknown:
+            raise ValueError(
+                f"experiment {self.name!r} declares unknown context flags {unknown}; "
+                f"known: {CONTEXT_FLAGS}"
+            )
+
+    @property
+    def ignored_flags(self) -> Tuple[str, ...]:
+        """Context flags this experiment does *not* honor (derived, not synced)."""
+        return tuple(flag for flag in CONTEXT_FLAGS if flag not in self.flags)
+
+    def run(
+        self,
+        context: ExperimentContext,
+        quick: bool = False,
+        **overrides: object,
+    ) -> ExperimentReport:
+        """Execute the experiment and validate the report it returns."""
+        unknown = sorted(set(overrides) - set(self.params))
+        if unknown:
+            accepted = ", ".join(self.params) if self.params else "none"
+            raise TypeError(
+                f"experiment {self.name!r} does not accept parameter(s) "
+                f"{', '.join(unknown)}; accepted: {accepted}"
+            )
+        report = self.runner(context, quick, **overrides)
+        if not isinstance(report, ExperimentReport):
+            raise TypeError(
+                f"experiment {self.name!r} returned {type(report).__name__}, "
+                "expected ExperimentReport"
+            )
+        if report.experiment != self.name:
+            raise ValueError(
+                f"experiment {self.name!r} returned a report named "
+                f"{report.experiment!r}"
+            )
+        return report
+
+    @property
+    def help_text(self) -> str:
+        """One per-target help line assembled entirely from the spec."""
+        notes = []
+        if self.quick:
+            notes.append(f"--quick: {self.quick}")
+        if self.ignored_flags:
+            notes.append(f"ignores {'/'.join(self.ignored_flags)}")
+        if self.params:
+            notes.append(f"api params: {', '.join(self.params)}")
+        suffix = f" ({'; '.join(notes)})" if notes else ""
+        return f"{self.title}{suffix}"
+
+
+#: Every registered experiment, by name (populated by module import).
+REGISTRY: Dict[str, ExperimentSpec] = {}
+
+
+def experiment(
+    name: str,
+    *,
+    title: str,
+    description: str = "",
+    flags: Tuple[str, ...] = CONTEXT_FLAGS,
+    quick: Optional[str] = None,
+    params: Tuple[str, ...] = (),
+) -> Callable[[ExperimentRunner], ExperimentRunner]:
+    """Register ``fn(context, quick, **overrides)`` as an experiment spec."""
+
+    def decorate(fn: ExperimentRunner) -> ExperimentRunner:
+        if name in REGISTRY:
+            raise ValueError(f"experiment {name!r} is already registered")
+        doc = (fn.__doc__ or "").strip()
+        REGISTRY[name] = ExperimentSpec(
+            name=name,
+            title=title,
+            runner=fn,
+            description=description or (doc.splitlines()[0] if doc else ""),
+            flags=tuple(flags),
+            quick=quick,
+            params=tuple(params),
+        )
+        return fn
+
+    return decorate
+
+
+def registry() -> Dict[str, ExperimentSpec]:
+    """The complete registry (forces every experiment module to be imported)."""
+    import repro.experiments  # noqa: F401  (registers all specs on import)
+
+    return REGISTRY
+
+
+def get_spec(name: str) -> ExperimentSpec:
+    """Look up one spec by name, with a helpful error listing known targets."""
+    specs = registry()
+    spec = specs.get(name)
+    if spec is None:
+        raise KeyError(
+            f"unknown experiment {name!r}; known: {', '.join(sorted(specs))}"
+        )
+    return spec

@@ -4,13 +4,17 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.experiments.runner import ExperimentRuntime, mean
+from repro.experiments.api import experiment
+from repro.experiments.report import ExperimentReport, Table
+from repro.experiments.runner import ExperimentContext, ExperimentRuntime, mean
 from repro.runtime.jobs import PlatformSpec, PolicySpec, SimSpec, SimulationJob, TraceSpec
 from repro.sim.engine import SimulationConfig
 from repro.workloads.spec2006 import spec_cpu2006_suite
 
 #: TDP points of Fig. 10 (watts).
 DEFAULT_TDP_POINTS: Tuple[float, ...] = (3.5, 4.5, 7.0, 15.0)
+
+TITLE = "Fig. 10: SysScale benefit vs. SoC TDP"
 
 
 def run_fig10_tdp_sensitivity(
@@ -19,7 +23,7 @@ def run_fig10_tdp_sensitivity(
     workload_duration: float = 1.0,
     runtime: Optional[ExperimentRuntime] = None,
     sim_config: Optional[SimulationConfig] = None,
-) -> Dict[str, object]:
+) -> ExperimentReport:
     """Reproduce Fig. 10: distribution of SPEC improvements at each TDP.
 
     Every (TDP, benchmark, policy) combination is one job: workers rebuild the
@@ -30,6 +34,7 @@ def run_fig10_tdp_sensitivity(
     """
     if runtime is None:
         runtime = ExperimentRuntime()
+    before = runtime.accounting()
     sim = SimSpec.from_config(sim_config) if sim_config is not None else SimSpec()
 
     traces = spec_cpu2006_suite(duration=workload_duration, subset=subset)
@@ -72,4 +77,48 @@ def run_fig10_tdp_sensitivity(
             }
         )
 
-    return {"experiment": "fig10", "rows": rows}
+    return ExperimentReport(
+        experiment="fig10",
+        title=TITLE,
+        params={
+            "tdp_points": tdp_points,
+            "subset": subset,
+            "duration": workload_duration,
+        },
+        blocks=(
+            Table.from_records(
+                "rows",
+                rows,
+                units={
+                    "tdp_w": "W",
+                    "average": "fraction",
+                    "median": "fraction",
+                    "max": "fraction",
+                    "min": "fraction",
+                    "improvements": "fraction",
+                },
+            ),
+        ),
+        run=runtime.accounting().since(before),
+    )
+
+
+@experiment(
+    "fig10",
+    title=TITLE,
+    flags=("--duration",),
+    quick="12-benchmark representative SPEC subset",
+    params=("subset", "tdp_points"),
+)
+def _fig10(context: ExperimentContext, quick: bool, **overrides: object) -> ExperimentReport:
+    """Distribution of SPEC improvements at each TDP point (sweeps its own TDPs)."""
+    if quick:
+        from repro.runtime.campaign import QUICK_SPEC_SUBSET
+
+        overrides.setdefault("subset", QUICK_SPEC_SUBSET)
+    return run_fig10_tdp_sensitivity(
+        workload_duration=context.workload_duration,
+        runtime=context.runtime,
+        sim_config=context.engine.config,
+        **overrides,
+    )

@@ -14,12 +14,16 @@ from typing import Dict, List
 from repro import config
 from repro.baselines.fixed import FixedBaselinePolicy
 from repro.baselines.md_dvfs import StaticMdDvfsPolicy
+from repro.experiments.api import experiment
+from repro.experiments.report import ExperimentReport, Table
 from repro.experiments.runner import ExperimentContext, build_context
 from repro.perf.bottleneck import analyze_bottlenecks
 from repro.workloads.spec2006 import MOTIVATION_BENCHMARKS, spec_workload
 
+TITLE = "Fig. 2: MD-DVFS motivation (power vs. performance impact)"
 
-def run_fig2_motivation(context: ExperimentContext | None = None) -> Dict[str, object]:
+
+def run_fig2_motivation(context: ExperimentContext | None = None) -> ExperimentReport:
     """Reproduce Fig. 2(a)-(c) on the simulated Broadwell-class platform."""
     if context is None:
         context = build_context()
@@ -59,9 +63,47 @@ def run_fig2_motivation(context: ExperimentContext | None = None) -> Dict[str, o
             }
         )
 
-    return {
-        "experiment": "fig2",
-        "impact": impact_rows,
-        "bottlenecks": bottleneck_rows,
-        "bandwidth_demand": bandwidth_rows,
-    }
+    return ExperimentReport(
+        experiment="fig2",
+        title=TITLE,
+        params={
+            "tdp": context.platform.tdp,
+            "duration": context.workload_duration,
+        },
+        blocks=(
+            Table.from_records(
+                "impact",
+                impact_rows,
+                units={
+                    "power_reduction": "fraction",
+                    "energy_reduction": "fraction",
+                    "performance_change": "fraction",
+                    "edp_improvement": "fraction",
+                    "performance_with_redistribution": "fraction",
+                },
+            ),
+            Table.from_records(
+                "bottlenecks",
+                bottleneck_rows,
+                units={
+                    "memory_latency_bound": "fraction",
+                    "memory_bandwidth_bound": "fraction",
+                    "non_memory_bound": "fraction",
+                },
+            ),
+            Table.from_records(
+                "bandwidth_demand",
+                bandwidth_rows,
+                units={
+                    "average_bandwidth_gbps": "GB/s",
+                    "peak_bandwidth_gbps": "GB/s",
+                },
+            ),
+        ),
+    )
+
+
+@experiment("fig2", title=TITLE)
+def _fig2(context: ExperimentContext, quick: bool) -> ExperimentReport:
+    """Static MD-DVFS impact, bottlenecks, and bandwidth of the motivation trio."""
+    return run_fig2_motivation(context)

@@ -10,6 +10,8 @@ from __future__ import annotations
 from typing import Dict, List
 
 from repro import config
+from repro.experiments.api import experiment
+from repro.experiments.report import ExperimentReport, Series, Table
 from repro.experiments.runner import ExperimentContext, build_context
 from repro.workloads.graphics import graphics_workload
 from repro.workloads.io_devices import STANDARD_CONFIGURATIONS
@@ -18,27 +20,35 @@ from repro.workloads.spec2006 import spec_workload
 #: The workloads plotted in Fig. 3(a).
 FIG3_WORKLOADS = ("400.perlbench", "473.astar", "470.lbm")
 
+TITLE = "Fig. 3: memory bandwidth demand of workloads and displays"
+
 
 def run_fig3_bandwidth_demand(
     context: ExperimentContext | None = None,
     sample_interval: float = config.ms(100),
-) -> Dict[str, object]:
+) -> ExperimentReport:
     """Reproduce Fig. 3(a) time series and Fig. 3(b) per-component demands."""
     if context is None:
         context = build_context()
 
-    timelines: Dict[str, List[Dict[str, float]]] = {}
-    for name in FIG3_WORKLOADS:
-        trace = spec_workload(name, duration=context.workload_duration)
-        timelines[name] = [
-            {"time_s": t, "bandwidth_gbps": bw / config.GBPS}
-            for t, bw in trace.bandwidth_timeline(sample_interval)
-        ]
-    gfx_trace = graphics_workload("3DMark06")
-    timelines["3DMark06"] = [
-        {"time_s": t, "bandwidth_gbps": bw / config.GBPS}
-        for t, bw in gfx_trace.bandwidth_timeline(sample_interval)
-    ]
+    timelines: List[Series] = []
+    traces = [
+        spec_workload(name, duration=context.workload_duration)
+        for name in FIG3_WORKLOADS
+    ] + [graphics_workload("3DMark06")]
+    for trace in traces:
+        timelines.append(
+            Series.from_points(
+                f"timelines/{trace.name}",
+                (
+                    (t, bw / config.GBPS)
+                    for t, bw in trace.bandwidth_timeline(sample_interval)
+                ),
+                x_label="time_s",
+                y_label="bandwidth_gbps",
+                unit="GB/s",
+            )
+        )
 
     component_rows: List[Dict[str, object]] = []
     peak = config.LPDDR3_PEAK_BANDWIDTH
@@ -66,8 +76,30 @@ def run_fig3_bandwidth_demand(
             }
         )
 
-    return {
-        "experiment": "fig3",
-        "timelines": timelines,
-        "component_demand": component_rows,
-    }
+    return ExperimentReport(
+        experiment="fig3",
+        title=TITLE,
+        params={
+            "duration": context.workload_duration,
+            "sample_interval": sample_interval,
+        },
+        blocks=(
+            *timelines,
+            Table.from_records(
+                "component_demand",
+                component_rows,
+                units={
+                    "display_bandwidth_gbps": "GB/s",
+                    "isp_bandwidth_gbps": "GB/s",
+                    "gfx_bandwidth_gbps": "GB/s",
+                    "fraction_of_peak": "fraction",
+                },
+            ),
+        ),
+    )
+
+
+@experiment("fig3", title=TITLE)
+def _fig3(context: ExperimentContext, quick: bool) -> ExperimentReport:
+    """Bandwidth-demand timelines plus per-component display/ISP/graphics demand."""
+    return run_fig3_bandwidth_demand(context)

@@ -2,14 +2,16 @@
 
 from __future__ import annotations
 
-from typing import Dict
-
 from repro.baselines.md_dvfs import StaticMdDvfsPolicy
+from repro.experiments.api import experiment
+from repro.experiments.report import ExperimentReport, Metric
 from repro.experiments.runner import ExperimentContext, build_context
 from repro.workloads.microbenchmarks import peak_bandwidth_microbenchmark
 
+TITLE = "Fig. 4: impact of unoptimized MRC register values"
 
-def run_fig4_mrc_impact(context: ExperimentContext | None = None) -> Dict[str, object]:
+
+def run_fig4_mrc_impact(context: ExperimentContext | None = None) -> ExperimentReport:
     """Reproduce Fig. 4: performance and power penalty of stale MRC registers.
 
     Both runs use the reduced (MD-DVFS) memory operating point; the only
@@ -43,11 +45,29 @@ def run_fig4_mrc_impact(context: ExperimentContext | None = None) -> Dict[str, o
     memory_power_increase = memory_power_unoptimized / memory_power_optimized - 1.0
     soc_power_increase = unoptimized.average_power / optimized.average_power - 1.0
 
-    return {
-        "experiment": "fig4",
-        "performance_degradation": performance_degradation,
-        "memory_power_increase": memory_power_increase,
-        "soc_power_increase": soc_power_increase,
-        "optimized_bandwidth_gbps": optimized.average_achieved_bandwidth / 1e9,
-        "unoptimized_bandwidth_gbps": unoptimized.average_achieved_bandwidth / 1e9,
-    }
+    return ExperimentReport(
+        experiment="fig4",
+        title=TITLE,
+        params={"tdp": context.platform.tdp},
+        blocks=(
+            Metric("performance_degradation", performance_degradation, "fraction"),
+            Metric("memory_power_increase", memory_power_increase, "fraction"),
+            Metric("soc_power_increase", soc_power_increase, "fraction"),
+            Metric(
+                "optimized_bandwidth_gbps",
+                optimized.average_achieved_bandwidth / 1e9,
+                "GB/s",
+            ),
+            Metric(
+                "unoptimized_bandwidth_gbps",
+                unoptimized.average_achieved_bandwidth / 1e9,
+                "GB/s",
+            ),
+        ),
+    )
+
+
+@experiment("fig4", title=TITLE, flags=("--tdp",))
+def _fig4(context: ExperimentContext, quick: bool) -> ExperimentReport:
+    """Performance and power penalty of stale MRC registers at the low point."""
+    return run_fig4_mrc_impact(context)

@@ -6,12 +6,16 @@ from typing import Dict, List
 
 from repro import config
 from repro.core.flow import TransitionFlow
+from repro.experiments.api import experiment
+from repro.experiments.report import ExperimentReport, Metric, Table
 from repro.experiments.runner import ExperimentContext, build_context
+
+TITLE = "Fig. 5: SysScale transition-flow latency breakdown"
 
 
 def run_fig5_transition_flow(
     context: ExperimentContext | None = None,
-) -> Dict[str, object]:
+) -> ExperimentReport:
     """Execute the Fig. 5 flow in both directions and report per-step latencies."""
     if context is None:
         context = build_context()
@@ -32,10 +36,27 @@ def run_fig5_transition_flow(
     up = flow.execute(points.low, points.high)
     reports.append(up.as_dict())
 
-    return {
-        "experiment": "fig5",
-        "transitions": reports,
-        "budget_us": config.TRANSITION_TOTAL_LATENCY_BUDGET / config.US,
-        "worst_latency_us": flow.worst_observed_latency / config.US,
-        "within_budget": all(report["within_budget"] for report in reports),
-    }
+    return ExperimentReport(
+        experiment="fig5",
+        title=TITLE,
+        params={"tdp": platform.tdp},
+        blocks=(
+            Table.from_records("transitions", reports),
+            Metric(
+                "budget_us",
+                config.TRANSITION_TOTAL_LATENCY_BUDGET / config.US,
+                "us",
+            ),
+            Metric("worst_latency_us", flow.worst_observed_latency / config.US, "us"),
+            Metric(
+                "within_budget",
+                all(report["within_budget"] for report in reports),
+            ),
+        ),
+    )
+
+
+@experiment("fig5", title=TITLE, flags=("--tdp",))
+def _fig5(context: ExperimentContext, quick: bool) -> ExperimentReport:
+    """Per-step latencies of the Fig. 5 DVFS flow in both directions."""
+    return run_fig5_transition_flow(context)

@@ -25,9 +25,20 @@ from repro import config
 from repro.core.demand import DemandPredictor, evaluate_prediction_quality
 from repro.core.operating_points import OperatingPoint, OperatingPointTable
 from repro.core.thresholds import ThresholdCalibrator
+from repro.experiments.api import experiment
+from repro.experiments.report import ExperimentReport, Metric, Table
 from repro.experiments.runner import ExperimentContext, build_context
 from repro.runtime.jobs import DegradationMeasurement, PointSpec, TraceSpec
 from repro.workloads.trace import WorkloadClass
+
+TITLE = "Fig. 6: demand-predictor accuracy over the synthetic corpus"
+
+#: ``--quick`` corpus sizes for the predictor evaluation.
+QUICK_CORPUS: Dict[WorkloadClass, int] = {
+    WorkloadClass.CPU_SINGLE_THREAD: 60,
+    WorkloadClass.CPU_MULTI_THREAD: 30,
+    WorkloadClass.GRAPHICS: 20,
+}
 
 #: The three DRAM frequency pairs of Fig. 6 (high, low), in Hz.
 FREQUENCY_PAIRS: Tuple[Tuple[float, float], ...] = (
@@ -127,7 +138,7 @@ def run_fig6_prediction(
     context: ExperimentContext | None = None,
     workloads_per_class: Optional[Dict[WorkloadClass, int]] = None,
     seed: int = config.DEFAULT_SEED + 7,
-) -> Dict[str, object]:
+) -> ExperimentReport:
     """Reproduce the nine panels of Fig. 6 on a synthetic evaluation corpus.
 
     The per-workload measurements (slowdown at the low point plus high-point
@@ -142,6 +153,7 @@ def run_fig6_prediction(
     """
     if context is None:
         context = build_context()
+    before = context.runtime.accounting()
     if workloads_per_class is None:
         workloads_per_class = {
             WorkloadClass.CPU_SINGLE_THREAD: 300,
@@ -184,11 +196,43 @@ def run_fig6_prediction(
             total_workloads += count
 
     accuracies = [panel["accuracy"] for panel in panels]
-    return {
-        "experiment": "fig6",
-        "panels": panels,
-        "total_evaluation_points": total_workloads,
-        "minimum_accuracy": min(accuracies),
-        "mean_accuracy": sum(accuracies) / len(accuracies),
-        "total_false_positives": sum(panel["false_positives"] for panel in panels),
-    }
+    return ExperimentReport(
+        experiment="fig6",
+        title=TITLE,
+        params={
+            "seed": seed,
+            "workloads_per_class": {
+                workload_class.value: count
+                for workload_class, count in workloads_per_class.items()
+            },
+        },
+        blocks=(
+            Table.from_records(
+                "panels",
+                panels,
+                units={"high_ghz": "GHz", "low_ghz": "GHz", "accuracy": "fraction"},
+            ),
+            Metric("total_evaluation_points", total_workloads),
+            Metric("minimum_accuracy", min(accuracies), "fraction"),
+            Metric("mean_accuracy", sum(accuracies) / len(accuracies), "fraction"),
+            Metric(
+                "total_false_positives",
+                sum(panel["false_positives"] for panel in panels),
+            ),
+        ),
+        run=context.runtime.accounting().since(before),
+    )
+
+
+@experiment(
+    "fig6",
+    title=TITLE,
+    flags=("--tdp",),
+    quick="reduced evaluation corpus (110 instead of 550 workloads)",
+    params=("workloads_per_class", "seed"),
+)
+def _fig6(context: ExperimentContext, quick: bool, **overrides: object) -> ExperimentReport:
+    """Predictor correlation/accuracy across the nine (class x pair) panels."""
+    if quick:
+        overrides.setdefault("workloads_per_class", QUICK_CORPUS)
+    return run_fig6_prediction(context, **overrides)

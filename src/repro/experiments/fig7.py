@@ -6,15 +6,19 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.baselines.coscale import CoScaleRedistProjection
 from repro.baselines.memscale import MemScaleRedistProjection
+from repro.experiments.api import experiment
+from repro.experiments.report import ExperimentReport, Metric, Table
 from repro.experiments.runner import ExperimentContext, build_context, mean
 from repro.runtime.jobs import PolicySpec, TraceSpec
 from repro.workloads.spec2006 import spec_cpu2006_suite
+
+TITLE = "Fig. 7: SPEC CPU2006 performance improvement"
 
 
 def run_fig7_spec(
     context: ExperimentContext | None = None,
     subset: Optional[Tuple[str, ...]] = None,
-) -> Dict[str, object]:
+) -> ExperimentReport:
     """Reproduce Fig. 7: per-benchmark and average performance improvements.
 
     SysScale and the baseline are simulated (through the context's runtime, so
@@ -24,6 +28,7 @@ def run_fig7_spec(
     """
     if context is None:
         context = build_context()
+    before = context.runtime.accounting()
     memscale = MemScaleRedistProjection(platform=context.platform)
     coscale = CoScaleRedistProjection(platform=context.platform)
 
@@ -49,17 +54,46 @@ def run_fig7_spec(
             }
         )
 
-    return {
-        "experiment": "fig7",
-        "rows": rows,
-        "average": {
-            "memscale_redist": mean(row["memscale_redist"] for row in rows),
-            "coscale_redist": mean(row["coscale_redist"] for row in rows),
-            "sysscale": mean(row["sysscale"] for row in rows),
+    techniques = ("memscale_redist", "coscale_redist", "sysscale")
+    return ExperimentReport(
+        experiment="fig7",
+        title=TITLE,
+        params={
+            "subset": subset,
+            "duration": context.workload_duration,
+            "tdp": context.platform.tdp,
         },
-        "max": {
-            "memscale_redist": max(row["memscale_redist"] for row in rows),
-            "coscale_redist": max(row["coscale_redist"] for row in rows),
-            "sysscale": max(row["sysscale"] for row in rows),
-        },
-    }
+        blocks=(
+            Table.from_records(
+                "rows",
+                rows,
+                units={technique: "fraction" for technique in techniques},
+            ),
+            *Metric.group(
+                "average",
+                {t: mean(row[t] for row in rows) for t in techniques},
+                unit="fraction",
+            ),
+            *Metric.group(
+                "max",
+                {t: max(row[t] for row in rows) for t in techniques},
+                unit="fraction",
+            ),
+        ),
+        run=context.runtime.accounting().since(before),
+    )
+
+
+@experiment(
+    "fig7",
+    title=TITLE,
+    quick="12-benchmark representative SPEC subset",
+    params=("subset",),
+)
+def _fig7(context: ExperimentContext, quick: bool, **overrides: object) -> ExperimentReport:
+    """Per-benchmark and average SPEC improvements for the three techniques."""
+    if quick:
+        from repro.runtime.campaign import QUICK_SPEC_SUBSET
+
+        overrides.setdefault("subset", QUICK_SPEC_SUBSET)
+    return run_fig7_spec(context, **overrides)

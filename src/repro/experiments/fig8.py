@@ -6,15 +6,20 @@ from typing import Dict, List
 
 from repro.baselines.coscale import CoScaleRedistProjection
 from repro.baselines.memscale import MemScaleRedistProjection
+from repro.experiments.api import experiment
+from repro.experiments.report import ExperimentReport, Metric, Table
 from repro.experiments.runner import ExperimentContext, build_context, mean
 from repro.runtime.jobs import PolicySpec, TraceSpec
 from repro.workloads.graphics import graphics_suite
 
+TITLE = "Fig. 8: 3DMark performance improvement"
 
-def run_fig8_graphics(context: ExperimentContext | None = None) -> Dict[str, object]:
+
+def run_fig8_graphics(context: ExperimentContext | None = None) -> ExperimentReport:
     """Reproduce Fig. 8: per-benchmark improvements on the three 3DMark variants."""
     if context is None:
         context = build_context()
+    before = context.runtime.accounting()
     memscale = MemScaleRedistProjection(platform=context.platform)
     coscale = CoScaleRedistProjection(platform=context.platform)
 
@@ -37,12 +42,32 @@ def run_fig8_graphics(context: ExperimentContext | None = None) -> Dict[str, obj
             }
         )
 
-    return {
-        "experiment": "fig8",
-        "rows": rows,
-        "average": {
-            "memscale_redist": mean(row["memscale_redist"] for row in rows),
-            "coscale_redist": mean(row["coscale_redist"] for row in rows),
-            "sysscale": mean(row["sysscale"] for row in rows),
-        },
-    }
+    techniques = ("memscale_redist", "coscale_redist", "sysscale")
+    return ExperimentReport(
+        experiment="fig8",
+        title=TITLE,
+        params={"tdp": context.platform.tdp},
+        blocks=(
+            Table.from_records(
+                "rows",
+                rows,
+                units={
+                    **{technique: "fraction" for technique in techniques},
+                    "baseline_gfx_mhz": "MHz",
+                    "sysscale_gfx_mhz": "MHz",
+                },
+            ),
+            *Metric.group(
+                "average",
+                {t: mean(row[t] for row in rows) for t in techniques},
+                unit="fraction",
+            ),
+        ),
+        run=context.runtime.accounting().since(before),
+    )
+
+
+@experiment("fig8", title=TITLE, flags=("--tdp",))
+def _fig8(context: ExperimentContext, quick: bool) -> ExperimentReport:
+    """Per-benchmark improvements on the three 3DMark variants."""
+    return run_fig8_graphics(context)

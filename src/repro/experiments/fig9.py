@@ -6,18 +6,23 @@ from typing import Dict, List
 
 from repro.baselines.coscale import CoScaleRedistProjection
 from repro.baselines.memscale import MemScaleRedistProjection
+from repro.experiments.api import experiment
+from repro.experiments.report import ExperimentReport, Metric, Table
 from repro.experiments.runner import ExperimentContext, build_context, mean
 from repro.runtime.jobs import PolicySpec, TraceSpec
 from repro.workloads.batterylife import battery_life_suite
+
+TITLE = "Fig. 9: battery-life workload power reduction"
 
 
 def run_fig9_battery_life(
     context: ExperimentContext | None = None,
     peripheral_configuration: str = "single_hd",
-) -> Dict[str, object]:
+) -> ExperimentReport:
     """Reproduce Fig. 9: average-power reduction with a single HD panel active."""
     if context is None:
         context = build_context()
+    before = context.runtime.accounting()
     memscale = MemScaleRedistProjection(platform=context.platform)
     coscale = CoScaleRedistProjection(platform=context.platform)
 
@@ -45,12 +50,39 @@ def run_fig9_battery_life(
             }
         )
 
-    return {
-        "experiment": "fig9",
-        "rows": rows,
-        "average": {
-            "memscale_redist": mean(row["memscale_redist"] for row in rows),
-            "coscale_redist": mean(row["coscale_redist"] for row in rows),
-            "sysscale": mean(row["sysscale"] for row in rows),
+    techniques = ("memscale_redist", "coscale_redist", "sysscale")
+    return ExperimentReport(
+        experiment="fig9",
+        title=TITLE,
+        params={
+            "peripheral_configuration": peripheral_configuration,
+            "tdp": context.platform.tdp,
         },
-    }
+        blocks=(
+            Table.from_records(
+                "rows",
+                rows,
+                units={
+                    **{technique: "fraction" for technique in techniques},
+                    "baseline_power_w": "W",
+                },
+            ),
+            *Metric.group(
+                "average",
+                {t: mean(row[t] for row in rows) for t in techniques},
+                unit="fraction",
+            ),
+        ),
+        run=context.runtime.accounting().since(before),
+    )
+
+
+@experiment(
+    "fig9",
+    title=TITLE,
+    flags=("--tdp",),
+    params=("peripheral_configuration",),
+)
+def _fig9(context: ExperimentContext, quick: bool, **overrides: object) -> ExperimentReport:
+    """Average-power reduction on the battery-life suite (single HD panel)."""
+    return run_fig9_battery_life(context, **overrides)

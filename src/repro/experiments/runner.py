@@ -1,5 +1,6 @@
-"""Shared experiment plumbing: context construction, the runtime bridge, and
-table formatting.
+"""Shared experiment plumbing: context construction and the runtime bridge.
+(The result types and renderers live in :mod:`repro.experiments.report`;
+``format_table`` is re-exported here for compatibility.)
 
 Experiments no longer loop ``SimulationEngine.run`` themselves: they build
 declarative jobs (``repro.runtime.jobs``) and submit them through the context's
@@ -12,7 +13,7 @@ exactly, so calling any ``run_*`` function with no arguments still works.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Iterable, List, Optional, Sequence
 
 from repro import config
 from repro.core.operating_points import OperatingPointTable, build_default_operating_points
@@ -25,6 +26,7 @@ from repro.runtime.executor import (
     ProgressCallback,
     SerialExecutor,
 )
+from repro.experiments.report import RunInfo, format_table
 from repro.runtime.jobs import (
     DegradationJob,
     DegradationMeasurement,
@@ -80,6 +82,15 @@ class ExperimentRuntime:
         return (
             f"{self.submitted} job(s) submitted, {self.unique} unique, "
             f"{self.executed} simulated, {self.cache_hits} cache hit(s)"
+        )
+
+    def accounting(self) -> RunInfo:
+        """A snapshot of the running totals (see :meth:`RunInfo.since`)."""
+        return RunInfo(
+            submitted=self.submitted,
+            unique=self.unique,
+            executed=self.executed,
+            cache_hits=self.cache_hits,
         )
 
 
@@ -219,39 +230,6 @@ def build_context(
         workload_duration=workload_duration,
         runtime=runtime or ExperimentRuntime(),
     )
-
-
-def format_table(
-    rows: Sequence[Dict[str, object]],
-    columns: Optional[Sequence[str]] = None,
-    float_format: str = "{:.3f}",
-) -> str:
-    """Render a list of row dictionaries as an aligned text table."""
-    rows = list(rows)
-    if not rows:
-        return "(no rows)"
-    if columns is None:
-        columns = list(rows[0].keys())
-
-    def render(value: object) -> str:
-        if isinstance(value, bool):
-            return str(value)
-        if isinstance(value, float):
-            return float_format.format(value)
-        return str(value)
-
-    rendered = [[render(row.get(column, "")) for column in columns] for row in rows]
-    widths = [
-        max(len(str(column)), max(len(line[index]) for line in rendered))
-        for index, column in enumerate(columns)
-    ]
-    header = "  ".join(str(column).ljust(width) for column, width in zip(columns, widths))
-    separator = "  ".join("-" * width for width in widths)
-    body = [
-        "  ".join(cell.ljust(width) for cell, width in zip(line, widths))
-        for line in rendered
-    ]
-    return "\n".join([header, separator, *body])
 
 
 def mean(values: Iterable[float]) -> float:

@@ -20,6 +20,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
+from repro.experiments.api import experiment
+from repro.experiments.report import ExperimentReport, Metric, Table
 from repro.experiments.runner import ExperimentContext, build_context, mean
 from repro.runtime.jobs import PolicySpec
 from repro.scenarios.generators import GENERATORS
@@ -28,14 +30,17 @@ from repro.scenarios.registry import SCENARIOS, catalog_trace_specs
 #: Managed policies compared against the fixed baseline.
 MANAGED_POLICIES = ("sysscale", "md_dvfs")
 
+TITLE = "Scenario robustness: SysScale vs. baselines across the synthesized catalog"
+
 
 def run_scenario_robustness(
     context: Optional[ExperimentContext] = None,
     subset: Optional[Sequence[str]] = None,
-) -> Dict[str, object]:
+) -> ExperimentReport:
     """Sweep the scenario catalog under baseline, SysScale, and MD-DVFS."""
     if context is None:
         context = build_context()
+    before = context.runtime.accounting()
     names = sorted(SCENARIOS) if subset is None else list(subset)
     policies = [PolicySpec.make("baseline")] + [
         PolicySpec.make(name) for name in MANAGED_POLICIES
@@ -61,29 +66,84 @@ def run_scenario_robustness(
 
     worst_energy = min(rows, key=lambda row: row["sysscale_energy_reduction"])
     worst_perf = min(rows, key=lambda row: row["sysscale_perf_impact"])
-    return {
-        "experiment": "scenario_robustness",
-        "scenarios": len(rows),
-        "rows": rows,
-        "average": {
-            "sysscale_energy_reduction": mean(
-                row["sysscale_energy_reduction"] for row in rows
+    return ExperimentReport(
+        experiment="robustness",
+        title=TITLE,
+        params={"subset": subset},
+        blocks=(
+            Metric("scenarios", len(rows)),
+            Table.from_records(
+                "rows",
+                rows,
+                units={
+                    "baseline_energy_j": "J",
+                    "sysscale_energy_reduction": "fraction",
+                    "sysscale_perf_impact": "fraction",
+                    "sysscale_low_residency": "fraction",
+                    "md_dvfs_energy_reduction": "fraction",
+                    "md_dvfs_perf_impact": "fraction",
+                },
             ),
-            "sysscale_perf_impact": mean(row["sysscale_perf_impact"] for row in rows),
-            "md_dvfs_energy_reduction": mean(
-                row["md_dvfs_energy_reduction"] for row in rows
+            *Metric.group(
+                "average",
+                {
+                    "sysscale_energy_reduction": mean(
+                        row["sysscale_energy_reduction"] for row in rows
+                    ),
+                    "sysscale_perf_impact": mean(
+                        row["sysscale_perf_impact"] for row in rows
+                    ),
+                    "md_dvfs_energy_reduction": mean(
+                        row["md_dvfs_energy_reduction"] for row in rows
+                    ),
+                    "md_dvfs_perf_impact": mean(
+                        row["md_dvfs_perf_impact"] for row in rows
+                    ),
+                },
+                unit="fraction",
             ),
-            "md_dvfs_perf_impact": mean(row["md_dvfs_perf_impact"] for row in rows),
-        },
-        "worst_case": {
-            "min_energy_reduction_scenario": worst_energy["scenario"],
-            "min_energy_reduction": worst_energy["sysscale_energy_reduction"],
-            "max_perf_loss_scenario": worst_perf["scenario"],
-            "max_perf_loss": worst_perf["sysscale_perf_impact"],
-        },
-        "wins_on_energy": sum(
-            1
-            for row in rows
-            if row["sysscale_energy_reduction"] >= row["md_dvfs_energy_reduction"]
+            Metric(
+                "worst_case/min_energy_reduction_scenario",
+                worst_energy["scenario"],
+            ),
+            Metric(
+                "worst_case/min_energy_reduction",
+                worst_energy["sysscale_energy_reduction"],
+                "fraction",
+            ),
+            Metric("worst_case/max_perf_loss_scenario", worst_perf["scenario"]),
+            Metric(
+                "worst_case/max_perf_loss",
+                worst_perf["sysscale_perf_impact"],
+                "fraction",
+            ),
+            Metric(
+                "wins_on_energy",
+                sum(
+                    1
+                    for row in rows
+                    if row["sysscale_energy_reduction"]
+                    >= row["md_dvfs_energy_reduction"]
+                ),
+            ),
         ),
-    }
+        run=context.runtime.accounting().since(before),
+    )
+
+
+@experiment(
+    "robustness",
+    title=TITLE,
+    flags=("--tdp",),
+    quick="one representative scenario per generator family",
+    params=("subset",),
+)
+def _robustness(
+    context: ExperimentContext, quick: bool, **overrides: object
+) -> ExperimentReport:
+    """Per-scenario energy/performance deltas plus SysScale's worst cases."""
+    if quick:
+        from repro.runtime.campaign import QUICK_SCENARIO_SUBSET
+
+        overrides.setdefault("subset", QUICK_SCENARIO_SUBSET)
+    return run_scenario_robustness(context, **overrides)

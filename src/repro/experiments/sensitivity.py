@@ -11,28 +11,31 @@ Two questions from the paper's sensitivity discussion are reproduced:
 
 from __future__ import annotations
 
-from typing import Dict
-
 from repro import config
 from repro.core.operating_points import (
     build_ddr4_operating_points,
     build_default_operating_points,
 )
+from repro.experiments.api import experiment
+from repro.experiments.report import ExperimentReport, Metric
 from repro.experiments.runner import ExperimentContext, build_context
 from repro.memory.dram import ddr4_device
 from repro.runtime.jobs import PointSpec, TraceSpec
 from repro.sim.platform import build_platform
 from repro.workloads.trace import WorkloadClass
 
+TITLE = "Sec. 7.4: DRAM device and operating-point sensitivity"
+
 
 def run_dram_frequency_sensitivity(
     context: ExperimentContext | None = None,
     corpus_size: int = 80,
     seed: int = config.DEFAULT_SEED + 11,
-) -> Dict[str, object]:
+) -> ExperimentReport:
     """Reproduce the Sec. 7.4 DRAM-device and operating-point sensitivity results."""
     if context is None:
         context = build_context()
+    before = context.runtime.accounting()
 
     # --- LPDDR3 1.6 -> 1.06 GHz: the power freed by the default low point -------
     lpddr3_platform = context.platform
@@ -84,13 +87,37 @@ def run_dram_frequency_sensitivity(
     mean_106 = sum(degradation_106) / len(degradation_106)
     mean_08 = sum(degradation_08) / len(degradation_08)
 
-    return {
-        "experiment": "sensitivity",
-        "lpddr3_power_savings_w": lpddr3_savings,
-        "ddr4_power_savings_w": ddr4_savings,
-        "ddr4_savings_deficit": savings_deficit,
-        "extra_savings_from_0p8_bin_w": extra_savings,
-        "mean_degradation_1p06": mean_106,
-        "mean_degradation_0p8": mean_08,
-        "degradation_ratio_0p8_vs_1p06": (mean_08 / mean_106) if mean_106 > 0 else 0.0,
-    }
+    return ExperimentReport(
+        experiment="sensitivity",
+        title=TITLE,
+        params={"corpus_size": corpus_size, "seed": seed},
+        blocks=(
+            Metric("lpddr3_power_savings_w", lpddr3_savings, "W"),
+            Metric("ddr4_power_savings_w", ddr4_savings, "W"),
+            Metric("ddr4_savings_deficit", savings_deficit, "fraction"),
+            Metric("extra_savings_from_0p8_bin_w", extra_savings, "W"),
+            Metric("mean_degradation_1p06", mean_106, "fraction"),
+            Metric("mean_degradation_0p8", mean_08, "fraction"),
+            Metric(
+                "degradation_ratio_0p8_vs_1p06",
+                (mean_08 / mean_106) if mean_106 > 0 else 0.0,
+            ),
+        ),
+        run=context.runtime.accounting().since(before),
+    )
+
+
+@experiment(
+    "sensitivity",
+    title=TITLE,
+    flags=("--tdp",),
+    quick="20-workload corpus instead of 80",
+    params=("corpus_size", "seed"),
+)
+def _sensitivity(
+    context: ExperimentContext, quick: bool, **overrides: object
+) -> ExperimentReport:
+    """DRAM-device power savings and the 0.8 GHz third-operating-point question."""
+    if quick:
+        overrides.setdefault("corpus_size", 20)
+    return run_dram_frequency_sensitivity(context, **overrides)

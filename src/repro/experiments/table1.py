@@ -6,10 +6,14 @@ from typing import Dict, List
 
 from repro import config
 from repro.baselines.md_dvfs import build_md_dvfs_action
+from repro.experiments.api import experiment
+from repro.experiments.report import ExperimentReport, Table
 from repro.experiments.runner import ExperimentContext, build_context
 
+TITLE = "Table 1: static MD-DVFS operating-point settings"
 
-def run_table1(context: ExperimentContext | None = None) -> Dict[str, object]:
+
+def run_table1(context: ExperimentContext | None = None) -> ExperimentReport:
     """Reproduce Table 1: the component settings of the two setups.
 
     The baseline column is the default high operating point; the MD-DVFS column is
@@ -49,4 +53,15 @@ def run_table1(context: ExperimentContext | None = None) -> Dict[str, object]:
             "md_dvfs": baseline_state.cpu_frequency / config.GHZ,
         },
     ]
-    return {"experiment": "table1", "rows": rows}
+    return ExperimentReport(
+        experiment="table1",
+        title=TITLE,
+        params={"tdp": platform.tdp},
+        blocks=(Table.from_records("rows", rows),),
+    )
+
+
+@experiment("table1", title=TITLE, flags=("--tdp",))
+def _table1(context: ExperimentContext, quick: bool) -> ExperimentReport:
+    """The component settings of the baseline and static MD-DVFS setups."""
+    return run_table1(context)

@@ -5,11 +5,15 @@ from __future__ import annotations
 from typing import Dict, List
 
 from repro import config
+from repro.experiments.api import experiment
+from repro.experiments.report import ExperimentReport, Table
 from repro.experiments.runner import ExperimentContext, build_context
 from repro.soc.broadwell import build_broadwell_soc
 
+TITLE = "Table 2: evaluated system parameters"
 
-def run_table2(context: ExperimentContext | None = None) -> Dict[str, object]:
+
+def run_table2(context: ExperimentContext | None = None) -> ExperimentReport:
     """Reproduce Table 2: the platform parameters used throughout the evaluation."""
     if context is None:
         context = build_context()
@@ -46,4 +50,15 @@ def run_table2(context: ExperimentContext | None = None) -> Dict[str, object]:
             "value": skylake.peak_memory_bandwidth / config.GBPS,
         },
     ]
-    return {"experiment": "table2", "rows": rows}
+    return ExperimentReport(
+        experiment="table2",
+        title=TITLE,
+        params={"tdp": skylake.tdp},
+        blocks=(Table.from_records("rows", rows),),
+    )
+
+
+@experiment("table2", title=TITLE, flags=("--tdp",))
+def _table2(context: ExperimentContext, quick: bool) -> ExperimentReport:
+    """The SoC and memory parameters of the evaluation platform."""
+    return run_table2(context)

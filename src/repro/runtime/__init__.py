@@ -33,6 +33,7 @@ from repro.runtime.jobs import (
     SimSpec,
     SimulationJob,
     TraceSpec,
+    clear_memos,
     decode_result,
     execute_job,
     job_from_dict,
@@ -59,6 +60,7 @@ __all__ = [
     "SimulationJob",
     "TraceSpec",
     "build_grid_campaign",
+    "clear_memos",
     "decode_result",
     "dedupe_jobs",
     "default_cache_dir",

@@ -2,16 +2,25 @@
 
 Four subcommands:
 
-* ``list`` -- every runnable target (the paper's tables and figures plus the
-  named sweep campaigns) and every registered building block: trace builders,
+* ``list`` -- every runnable target (the registered experiments plus the named
+  sweep campaigns) and every registered building block: trace builders,
   policies, DRAM devices, and the scenario catalog;
 * ``run TARGET [TARGET ...]`` -- run targets through the runtime, with
   ``--jobs N`` (process parallelism), ``--cache-dir``/``--no-cache`` (the
-  content-addressed result store), ``--quick`` (reduced workload sets), and
-  ``--duration``/``--max-time`` (trace/engine scaling for smoke runs);
+  content-addressed result store), ``--quick`` (reduced workload sets),
+  ``--duration``/``--max-time`` (trace/engine scaling for smoke runs), and
+  ``--json``/``--csv``/``--out`` (structured report export);
 * ``scenarios`` -- the synthesized-workload catalog: ``list`` it, ``describe``
   one spec, or ``sweep`` scenarios x policies through the runtime;
 * ``cache`` -- inspect or clear the result store.
+
+The experiment dispatch, per-target help text, and ignored-flag warnings are
+all generated from the :mod:`repro.experiments.api` registry -- there is no
+hand-maintained target table.  Every experiment returns a structured
+:class:`~repro.experiments.report.ExperimentReport`; ``--json`` emits the exact
+``ExperimentReport.from_dict`` round-trip document on stdout (decorative output
+moves to stderr, so ``python -m repro run fig7 --json | jq .`` works), and
+``--csv`` emits the block-per-section CSV export.
 
 Every ``run`` invocation ends with the runtime summary line, e.g.::
 
@@ -24,35 +33,25 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro import config
-from repro.experiments import (
-    build_context,
-    run_scenario_robustness,
-    run_dram_frequency_sensitivity,
-    run_fig2_motivation,
-    run_fig3_bandwidth_demand,
-    run_fig4_mrc_impact,
-    run_fig5_transition_flow,
-    run_fig6_prediction,
-    run_fig7_spec,
-    run_fig8_graphics,
-    run_fig9_battery_life,
-    run_fig10_tdp_sensitivity,
-    run_table1,
-    run_table2,
+from repro.experiments import build_context
+from repro.experiments.api import CONTEXT_FLAGS, ExperimentSpec, registry
+from repro.experiments.report import (
+    ExperimentReport,
+    Metric,
+    Table,
+    render_csv,
+    render_json,
+    render_text,
 )
 from repro.experiments.runner import ExperimentContext, ExperimentRuntime
 from repro.runtime.cache import ResultCache, default_cache_dir
-from repro.runtime.campaign import (
-    CAMPAIGNS,
-    QUICK_SCENARIO_SUBSET,
-    QUICK_SPEC_SUBSET,
-    scenario_campaign,
-)
+from repro.runtime.campaign import CAMPAIGNS, scenario_campaign
 from repro.runtime.executor import ProgressUpdate, make_executor
 from repro.runtime.jobs import (
     DRAM_BUILDERS,
@@ -63,138 +62,18 @@ from repro.runtime.jobs import (
     SimulationJob,
 )
 from repro.sim.engine import SimulationConfig
-from repro.workloads.trace import WorkloadClass
-
-#: ``--quick`` corpus sizes for the Fig. 6 predictor evaluation.
-QUICK_FIG6_CORPUS = {
-    WorkloadClass.CPU_SINGLE_THREAD: 60,
-    WorkloadClass.CPU_MULTI_THREAD: 30,
-    WorkloadClass.GRAPHICS: 20,
-}
-
-Target = Callable[[ExperimentContext, bool], Dict[str, Any]]
-
-#: Experiment targets: name -> (description, runner(context, quick)).
-EXPERIMENTS: Dict[str, tuple] = {
-    "table1": (
-        "Table 1: static MD-DVFS operating-point settings",
-        lambda context, quick: run_table1(context),
-    ),
-    "table2": (
-        "Table 2: evaluated system parameters",
-        lambda context, quick: run_table2(context),
-    ),
-    "fig2": (
-        "Fig. 2: MD-DVFS motivation (power vs. performance impact)",
-        lambda context, quick: run_fig2_motivation(context),
-    ),
-    "fig3": (
-        "Fig. 3: memory bandwidth demand of workloads and displays",
-        lambda context, quick: run_fig3_bandwidth_demand(context),
-    ),
-    "fig4": (
-        "Fig. 4: impact of unoptimized MRC register values",
-        lambda context, quick: run_fig4_mrc_impact(context),
-    ),
-    "fig5": (
-        "Fig. 5: SysScale transition-flow latency breakdown",
-        lambda context, quick: run_fig5_transition_flow(context),
-    ),
-    "fig6": (
-        "Fig. 6: demand-predictor accuracy over the synthetic corpus",
-        lambda context, quick: run_fig6_prediction(
-            context, workloads_per_class=QUICK_FIG6_CORPUS if quick else None
-        ),
-    ),
-    "fig7": (
-        "Fig. 7: SPEC CPU2006 performance improvement",
-        lambda context, quick: run_fig7_spec(
-            context, subset=QUICK_SPEC_SUBSET if quick else None
-        ),
-    ),
-    "fig8": (
-        "Fig. 8: 3DMark performance improvement",
-        lambda context, quick: run_fig8_graphics(context),
-    ),
-    "fig9": (
-        "Fig. 9: battery-life workload power reduction",
-        lambda context, quick: run_fig9_battery_life(context),
-    ),
-    "fig10": (
-        "Fig. 10: SysScale benefit vs. SoC TDP",
-        lambda context, quick: run_fig10_tdp_sensitivity(
-            subset=QUICK_SPEC_SUBSET if quick else None,
-            workload_duration=context.workload_duration,
-            runtime=context.runtime,
-            sim_config=context.engine.config,
-        ),
-    ),
-    "sensitivity": (
-        "Sec. 7.4: DRAM device and operating-point sensitivity",
-        lambda context, quick: run_dram_frequency_sensitivity(
-            context, corpus_size=20 if quick else 80
-        ),
-    ),
-    "robustness": (
-        "Scenario robustness: SysScale vs. baselines across the synthesized catalog",
-        lambda context, quick: run_scenario_robustness(
-            context, subset=QUICK_SCENARIO_SUBSET if quick else None
-        ),
-    ),
-}
-
-
-#: Context flags some experiment targets do not honor: fig10 sweeps its own
-#: TDP grid; fig6/sensitivity corpora and the fig8/fig9 suites use fixed trace
-#: durations.  Used to warn instead of silently presenting default-parameter
-#: numbers as if the flag applied.
-FLAGS_IGNORED_BY_TARGET: Dict[str, tuple] = {
-    "fig10": ("--tdp",),
-    "fig6": ("--duration",),
-    "fig8": ("--duration",),
-    "fig9": ("--duration",),
-    "sensitivity": ("--duration",),
-    "table1": ("--duration",),
-    "table2": ("--duration",),
-    "fig4": ("--duration",),
-    "fig5": ("--duration",),
-    "robustness": ("--duration",),
-}
 
 
 def _available_targets() -> List[str]:
-    return list(EXPERIMENTS) + list(CAMPAIGNS)
-
-
-def _print_scalar_summary(result: Dict[str, Any]) -> None:
-    """Print the scalar entries (and row counts) of an experiment result."""
-    for key, value in result.items():
-        if isinstance(value, bool) or isinstance(value, (int, str)):
-            print(f"  {key}: {value}")
-        elif isinstance(value, float):
-            print(f"  {key}: {value:.6g}")
-        elif isinstance(value, dict) and all(
-            isinstance(v, (int, float)) for v in value.values()
-        ):
-            rendered = ", ".join(f"{k}={v:.4g}" for k, v in value.items())
-            print(f"  {key}: {rendered}")
-        elif isinstance(value, list):
-            print(f"  {key}: {len(value)} row(s)")
-
-
-def _json_default(value: Any) -> Any:
-    """Encode numpy scalars (and anything float-like) for ``--json`` output."""
-    try:
-        return float(value)
-    except (TypeError, ValueError):
-        return str(value)
+    return list(registry()) + list(CAMPAIGNS)
 
 
 class _ProgressPrinter:
     """Prints at most ~10 evenly spaced progress lines per batch."""
 
-    def __init__(self) -> None:
+    def __init__(self, stream=None) -> None:
         self._last_decile = -1
+        self._stream = stream
 
     def __call__(self, update: ProgressUpdate) -> None:
         if update.total <= 0:
@@ -206,15 +85,27 @@ class _ProgressPrinter:
             print(
                 f"    [{update.completed}/{update.total}] {update.label} ({source})",
                 flush=True,
+                file=self._stream or sys.stdout,
             )
+
+
+def _exporting(args: argparse.Namespace) -> bool:
+    """True when stdout carries a machine-readable document."""
+    return bool(
+        getattr(args, "json", False)
+        or getattr(args, "csv", False)
+        or getattr(args, "out", None)
+    )
 
 
 def _build_runtime(args: argparse.Namespace) -> ExperimentRuntime:
     cache = None if args.no_cache else ResultCache(args.cache_dir)
+    # Progress lines target the human; keep them off a machine-readable stdout.
+    stream = sys.stderr if _exporting(args) else sys.stdout
     return ExperimentRuntime(
         executor=make_executor(args.jobs),
         cache=cache,
-        progress=_ProgressPrinter() if args.progress else None,
+        progress=_ProgressPrinter(stream) if args.progress else None,
     )
 
 
@@ -223,8 +114,10 @@ def _cmd_list(args: argparse.Namespace) -> int:
     from repro.scenarios.registry import SCENARIOS
 
     print("experiments:")
-    for name, (description, _) in EXPERIMENTS.items():
-        print(f"  {name:12s} {description}")
+    for name, spec in registry().items():
+        print(f"  {name:12s} {spec.title}")
+        if spec.description:
+            print(f"  {'':12s}   {spec.description}")
     print("campaigns:")
     for name, factory in CAMPAIGNS.items():
         campaign = factory(True)
@@ -249,14 +142,138 @@ def _cmd_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_experiment(
+    spec: ExperimentSpec,
+    context: ExperimentContext,
+    args: argparse.Namespace,
+) -> ExperimentReport:
+    """One registry target, with ignored-flag warnings derived from the spec."""
+    changed = {
+        "--tdp": args.tdp != config.SKYLAKE_DEFAULT_TDP,
+        "--duration": args.duration != 1.0,
+    }
+    ignored = [flag for flag in spec.ignored_flags if changed.get(flag)]
+    if ignored:
+        print(
+            f"note: {'/'.join(ignored)} do(es) not apply to {spec.name!r}",
+            file=sys.stderr,
+        )
+    return spec.run(context, quick=args.quick)
+
+
+def _run_campaign(
+    target: str,
+    runtime: ExperimentRuntime,
+    args: argparse.Namespace,
+    sim_config: Optional[SimulationConfig],
+) -> ExperimentReport:
+    """One named campaign, wrapped into the same report type as experiments."""
+    # Campaign jobs carry their own platform and trace specs; of the context
+    # flags only --max-time is folded in, so say so rather than silently
+    # presenting default-platform numbers.
+    if args.tdp != config.SKYLAKE_DEFAULT_TDP or args.duration != 1.0:
+        print(
+            f"note: --tdp/--duration do not apply to campaign {target!r} "
+            "(its jobs define their own platforms and trace durations)",
+            file=sys.stderr,
+        )
+    campaign = CAMPAIGNS[target](args.quick)
+    if sim_config is not None:
+        campaign = campaign.with_sim(SimSpec.from_config(sim_config))
+    before = runtime.accounting()
+    report = runtime.run_jobs(campaign.jobs)
+    rows = []
+    for outcome in report.outcomes:
+        assert isinstance(outcome.job, SimulationJob)
+        rows.append(outcome.result.as_dict())
+    return ExperimentReport(
+        experiment=target,
+        title=campaign.description,
+        params={"quick": args.quick, "max_time": args.max_time},
+        blocks=(
+            Metric("jobs", len(campaign.jobs)),
+            Table.from_records(
+                "rows",
+                rows,
+                units={
+                    "time_s": "s",
+                    "average_power_w": "W",
+                    "energy_j": "J",
+                    "edp_js": "J*s",
+                    "low_point_residency": "fraction",
+                    "average_cpu_frequency_ghz": "GHz",
+                    "average_gfx_frequency_mhz": "MHz",
+                    "average_dram_frequency_ghz": "GHz",
+                },
+            ),
+        ),
+        run=runtime.accounting().since(before),
+    )
+
+
+def _render_export(report: ExperimentReport, args: argparse.Namespace) -> str:
+    return render_csv(report) if args.csv else render_json(report) + "\n"
+
+
+def _write_report_file(
+    name: str,
+    report: ExperimentReport,
+    args: argparse.Namespace,
+    counts: Dict[str, int],
+) -> None:
+    """Write one report under ``--out`` as soon as its target completes, so a
+    failure in a later target never discards finished work.
+
+    ``counts`` tracks repeated targets: the second ``fig7`` in one invocation
+    lands in ``fig7.2.json`` instead of clobbering the first.
+    """
+    extension = "csv" if args.csv else "json"
+    out = args.out
+    if len(args.targets) > 1 or os.path.isdir(out):
+        os.makedirs(out, exist_ok=True)
+        counts[name] = counts.get(name, 0) + 1
+        suffix = f".{counts[name]}" if counts[name] > 1 else ""
+        path = os.path.join(out, f"{name}{suffix}.{extension}")
+    else:
+        parent = os.path.dirname(out)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        path = out
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(_render_export(report, args))
+    print(f"wrote {path}", file=sys.stderr)
+
+
+def _write_stdout_exports(
+    reports: List[tuple], args: argparse.Namespace
+) -> None:
+    """Emit ``--json``/``--csv`` documents on stdout.
+
+    ``reports`` is a list of ``(target, report)`` pairs in run order, so a
+    target requested twice exports twice.  Several JSON targets batch into one
+    array so stdout stays a single valid document.
+    """
+    if args.csv:
+        sys.stdout.write("\n".join(render_csv(r) for _, r in reports))
+    elif len(reports) == 1:
+        sys.stdout.write(_render_export(reports[0][1], args))
+    else:
+        documents = [report.to_dict() for _, report in reports]
+        sys.stdout.write(json.dumps(documents, indent=2) + "\n")
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
-    unknown = [t for t in args.targets if t not in EXPERIMENTS and t not in CAMPAIGNS]
+    specs = registry()
+    unknown = [t for t in args.targets if t not in specs and t not in CAMPAIGNS]
     if unknown:
         print(
             f"unknown target(s): {', '.join(unknown)}; "
             f"known: {', '.join(_available_targets())}",
             file=sys.stderr,
         )
+        return 2
+    if args.json and args.csv:
+        print("--json and --csv are mutually exclusive", file=sys.stderr)
         return 2
     for flag, value, minimum in (
         ("--jobs", args.jobs, 1),
@@ -271,6 +288,23 @@ def _cmd_run(args: argparse.Namespace) -> int:
             print(f"{flag} must be {bound}, got {value}", file=sys.stderr)
             return 2
 
+    if (
+        args.out is not None
+        and len(args.targets) > 1
+        and os.path.exists(args.out)
+        and not os.path.isdir(args.out)
+    ):
+        print(
+            f"--out {args.out!r} must be a directory when running several "
+            "targets (one file per target is written into it)",
+            file=sys.stderr,
+        )
+        return 2
+
+    # With a machine-readable stdout, route decorative lines to stderr.
+    exporting = _exporting(args)
+    info = sys.stderr if exporting else sys.stdout
+
     runtime = _build_runtime(args)
     sim_config = (
         SimulationConfig(max_simulated_time=args.max_time) if args.max_time else None
@@ -282,56 +316,29 @@ def _cmd_run(args: argparse.Namespace) -> int:
         runtime=runtime,
     )
 
+    reports: List[tuple] = []
+    written: Dict[str, int] = {}
     for target in args.targets:
-        print(f"== {target} ==")
+        print(f"== {target} ==", file=info)
         started = time.perf_counter()
-        if target in EXPERIMENTS:
-            changed = {
-                "--tdp": args.tdp != config.SKYLAKE_DEFAULT_TDP,
-                "--duration": args.duration != 1.0,
-            }
-            ignored = [
-                flag
-                for flag in FLAGS_IGNORED_BY_TARGET.get(target, ())
-                if changed.get(flag)
-            ]
-            if ignored:
-                print(
-                    f"note: {'/'.join(ignored)} do(es) not apply to {target!r}",
-                    file=sys.stderr,
-                )
-            _, entry = EXPERIMENTS[target]
-            result = entry(context, args.quick)
+        if target in specs:
+            report = _run_experiment(specs[target], context, args)
         else:
-            # Campaign jobs carry their own platform and trace specs; of the
-            # context flags only --max-time is folded in, so say so rather
-            # than silently presenting default-platform numbers.
-            if args.tdp != config.SKYLAKE_DEFAULT_TDP or args.duration != 1.0:
-                print(
-                    f"note: --tdp/--duration do not apply to campaign {target!r} "
-                    "(its jobs define their own platforms and trace durations)",
-                    file=sys.stderr,
-                )
-            campaign = CAMPAIGNS[target](args.quick)
-            if sim_config is not None:
-                campaign = campaign.with_sim(SimSpec.from_config(sim_config))
-            report = runtime.run_jobs(campaign.jobs)
-            result = {
-                "campaign": campaign.name,
-                "description": campaign.description,
-                "jobs": len(campaign.jobs),
-                "rows": [outcome.result.as_dict() for outcome in report.outcomes],
-            }
+            report = _run_campaign(target, runtime, args, sim_config)
         elapsed = time.perf_counter() - started
-        if args.json:
-            print(json.dumps(result, indent=2, default=_json_default))
-        else:
-            _print_scalar_summary(result)
-        print(f"  elapsed: {elapsed:.2f}s")
+        reports.append((target, report))
+        if args.out is not None:
+            _write_report_file(target, report, args, written)
+        elif not exporting:
+            print(render_text(report))
+        print(f"  elapsed: {elapsed:.2f}s", file=info)
 
-    print(f"runtime: {runtime.summary()}")
+    if exporting and args.out is None:
+        _write_stdout_exports(reports, args)
+
+    print(f"runtime: {runtime.summary()}", file=info)
     if runtime.cache is not None:
-        print(f"cache: {runtime.cache.root} ({len(runtime.cache)} entries)")
+        print(f"cache: {runtime.cache.root} ({len(runtime.cache)} entries)", file=info)
     return 0
 
 
@@ -379,7 +386,7 @@ def _cmd_scenarios_describe(args: argparse.Namespace) -> int:
         },
     }
     if args.json:
-        print(json.dumps(details, indent=2, default=_json_default))
+        print(json.dumps(details, indent=2))
         return 0
     print(f"scenario {spec.name!r}: {spec.description}")
     print(f"  generator: {spec.generator}  seed: {spec.seed}")
@@ -448,6 +455,8 @@ def _cmd_scenarios_sweep(args: argparse.Namespace) -> int:
                 row["perf_impact"] = result.performance_improvement_over(baseline)
             rows.append(row)
 
+    # Like `run --json`: keep stdout a single parseable document.
+    info = sys.stderr if args.json else sys.stdout
     if args.json:
         print(json.dumps({"sweep": campaign.description, "rows": rows}, indent=2))
     else:
@@ -476,10 +485,10 @@ def _cmd_scenarios_sweep(args: argparse.Namespace) -> int:
                 f"  sysscale average energy reduction: "
                 f"{sum(reductions) / len(reductions) * 100:.6g}%"
             )
-    print(f"  elapsed: {elapsed:.2f}s")
-    print(f"runtime: {runtime.summary()}")
+    print(f"  elapsed: {elapsed:.2f}s", file=info)
+    print(f"runtime: {runtime.summary()}", file=info)
     if runtime.cache is not None:
-        print(f"cache: {runtime.cache.root} ({len(runtime.cache)} entries)")
+        print(f"cache: {runtime.cache.root} ({len(runtime.cache)} entries)", file=info)
     return 0
 
 
@@ -514,6 +523,17 @@ def _add_runtime_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _run_epilog() -> str:
+    """Per-target help text, generated from the experiment registry."""
+    lines = ["targets (from the experiment registry):"]
+    for name, spec in registry().items():
+        lines.append(f"  {name:12s} {spec.help_text}")
+    lines.append("campaigns:")
+    for name, factory in CAMPAIGNS.items():
+        lines.append(f"  {name:12s} {factory(True).description}")
+    return "\n".join(lines)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -528,7 +548,12 @@ def build_parser() -> argparse.ArgumentParser:
         handler=_cmd_list
     )
 
-    run_parser = subparsers.add_parser("run", help="run experiment/campaign targets")
+    run_parser = subparsers.add_parser(
+        "run",
+        help="run experiment/campaign targets",
+        epilog=_run_epilog(),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
     run_parser.add_argument(
         "targets", nargs="+", metavar="TARGET", help="figure, table, or campaign name"
     )
@@ -549,7 +574,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="package TDP in watts",
     )
     run_parser.add_argument(
-        "--json", action="store_true", help="print full results as JSON"
+        "--json", action="store_true",
+        help="emit the ExperimentReport document(s) as JSON on stdout",
+    )
+    run_parser.add_argument(
+        "--csv", action="store_true",
+        help="emit the CSV export (one section per report block) on stdout",
+    )
+    run_parser.add_argument(
+        "--out", default=None, metavar="PATH",
+        help=(
+            "write the export to PATH instead of stdout (a directory when "
+            "running several targets); implies --json unless --csv is given"
+        ),
     )
     run_parser.set_defaults(handler=_cmd_run)
 

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from functools import lru_cache
 from typing import Any, Callable, ClassVar, Dict, List, Optional, Tuple, Union
@@ -234,8 +235,14 @@ class TraceSpec:
 #: is stable).  Threshold calibration is the paper's *offline* procedure: it
 #: depends only on the platform and point table, so recalibrating per job
 #: would dominate short smoke simulations.  The stored platform reference
-#: guards against id() reuse after garbage collection.
-_SYSSCALE_MEMO: Dict[Tuple[int, str], Tuple[Platform, Any, Any]] = {}
+#: guards against id() reuse after garbage collection.  Bounded like
+#: :data:`_PLATFORM_MEMO` (it grows with the same sweep axes).
+_SYSSCALE_MEMO: "OrderedDict[Tuple[int, str], Tuple[Platform, Any, Any]]" = OrderedDict()
+
+#: Entries kept per worker-local memo.  Long platform sweeps (many TDPs x DRAM
+#: devices) would otherwise grow the memos without bound; a platform is a few
+#: MB of model state, so a handful covers every real campaign's working set.
+MEMO_MAX_ENTRIES = 8
 
 
 def _build_sysscale(platform: Platform, operating_points: str = "default") -> Policy:
@@ -251,6 +258,10 @@ def _build_sysscale(platform: Platform, operating_points: str = "default") -> Po
             raise KeyError(f"unknown operating-point table {operating_points!r}")
         memoized = (platform, points, default_thresholds(platform, points))
         _SYSSCALE_MEMO[key] = memoized
+        while len(_SYSSCALE_MEMO) > MEMO_MAX_ENTRIES:
+            _SYSSCALE_MEMO.popitem(last=False)
+    else:
+        _SYSSCALE_MEMO.move_to_end(key)
     _, points, thresholds = memoized
     return SysScaleController(
         platform=platform, operating_points=points, thresholds=thresholds
@@ -351,16 +362,34 @@ class PlatformSpec:
 #: Process-local platform memo.  Within one worker, jobs sharing a platform
 #: spec reuse the same platform object -- safe because jobs run serially inside
 #: a worker and ``SimulationEngine.run`` restores boot MRC state on entry.
-_PLATFORM_MEMO: Dict[PlatformSpec, Platform] = {}
+#: LRU-bounded to :data:`MEMO_MAX_ENTRIES`: a sweep over arbitrarily many
+#: distinct platform specs (TDP grids, fuzzed campaigns) keeps only the most
+#: recently used platforms alive instead of growing without limit.
+_PLATFORM_MEMO: "OrderedDict[PlatformSpec, Platform]" = OrderedDict()
 
 
 def platform_for(spec: PlatformSpec) -> Platform:
-    """The memoized platform for ``spec`` in this process."""
+    """The memoized platform for ``spec`` in this process (LRU-bounded)."""
     platform = _PLATFORM_MEMO.get(spec)
     if platform is None:
         platform = spec.build()
         _PLATFORM_MEMO[spec] = platform
+        while len(_PLATFORM_MEMO) > MEMO_MAX_ENTRIES:
+            evicted_spec, evicted = _PLATFORM_MEMO.popitem(last=False)
+            # Drop the evicted platform's calibration entries too: they are
+            # keyed by platform identity and would otherwise pin its memory
+            # (the identity guard makes stale entries harmless, not free).
+            for key in [k for k in _SYSSCALE_MEMO if _SYSSCALE_MEMO[k][0] is evicted]:
+                del _SYSSCALE_MEMO[key]
+    else:
+        _PLATFORM_MEMO.move_to_end(spec)
     return platform
+
+
+def clear_memos() -> None:
+    """Explicitly empty the worker-local platform/calibration memos."""
+    _PLATFORM_MEMO.clear()
+    _SYSSCALE_MEMO.clear()
 
 
 @dataclass(frozen=True)

@@ -16,11 +16,12 @@ import pytest
 
 import repro.experiments
 from repro.experiments import build_context
+from repro.experiments.report import ExperimentReport
 from repro.sim.engine import SimulationConfig
 from repro.workloads.trace import WorkloadClass
 
 #: Modules that are plumbing, not experiments.
-NON_EXPERIMENT_MODULES = {"runner"}
+NON_EXPERIMENT_MODULES = {"runner", "report", "api"}
 
 #: Tiny per-entry keyword overrides so the full sweep finishes in seconds.
 TINY_KWARGS = {
@@ -88,4 +89,7 @@ def test_entry_functions_run_through_the_runtime(module_name, tiny_context):
         if "runtime" in parameters:
             kwargs.setdefault("runtime", tiny_context.runtime)
         result = entry(**kwargs)
-        assert isinstance(result, dict) and result, entry.__name__
+        assert isinstance(result, ExperimentReport), entry.__name__
+        assert result.blocks, entry.__name__
+        # The legacy mapping view over the report stays non-empty too.
+        assert dict(result.items()), entry.__name__

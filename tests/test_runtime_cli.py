@@ -1,8 +1,12 @@
-"""The ``python -m repro`` command line."""
+"""The ``python -m repro`` command line (registry-driven dispatch + exports)."""
+
+import json
 
 import pytest
 
-from repro.runtime.cli import EXPERIMENTS, main
+from repro.experiments.api import registry
+from repro.experiments.report import ExperimentReport
+from repro.runtime.cli import main
 from repro.runtime.campaign import CAMPAIGNS
 
 
@@ -10,10 +14,28 @@ class TestList:
     def test_lists_every_target(self, capsys):
         assert main(["list"]) == 0
         output = capsys.readouterr().out
-        for name in EXPERIMENTS:
+        for name in registry():
             assert name in output
         for name in CAMPAIGNS:
             assert name in output
+
+    def test_prints_registered_descriptions(self, capsys):
+        """``list`` shows each experiment's title and spec description."""
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        for spec in registry().values():
+            assert spec.title in output
+            if spec.description:
+                assert spec.description in output
+
+    def test_run_help_is_generated_from_registry(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", "--help"])
+        output = capsys.readouterr().out
+        for name, spec in registry().items():
+            assert name in output
+            if spec.ignored_flags:
+                assert f"ignores {'/'.join(spec.ignored_flags)}" in output
 
 
 class TestRun:
@@ -26,6 +48,12 @@ class TestRun:
         output = capsys.readouterr().out
         assert "== table2 ==" in output
         assert "runtime:" in output
+
+    def test_ignored_flag_warning_is_derived_from_spec(self, capsys):
+        """fig5 declares it ignores --duration; the CLI warns from the spec."""
+        assert main(["run", "fig5", "--no-cache", "--duration", "0.25"]) == 0
+        captured = capsys.readouterr()
+        assert "--duration do(es) not apply to 'fig5'" in captured.err
 
     def test_cache_hit_counter_reports_zero_new_simulations(self, tmp_path, capsys):
         """Acceptance: a warm-cache rerun performs zero new simulations, and
@@ -46,10 +74,12 @@ class TestRun:
 
         def averages(output):
             return [
-                line for line in output.splitlines() if line.startswith("  average:")
+                line for line in output.splitlines()
+                if line.strip().startswith("average/")
             ]
 
         assert averages(warm) == averages(cold)
+        assert averages(cold)
 
     def test_parallel_jobs_flag(self, tmp_path, capsys):
         args = [
@@ -68,6 +98,131 @@ class TestRun:
         output = capsys.readouterr().out
         assert "jobs:" in output
         assert "[" in output  # progress lines
+
+
+class TestExports:
+    def test_json_stdout_is_pure_and_round_trips(self, tmp_path, capsys):
+        args = [
+            "run", "fig7", "--quick", "--json",
+            "--duration", "0.05", "--max-time", "0.05",
+            "--cache-dir", str(tmp_path / "cache"),
+        ]
+        assert main(args) == 0
+        captured = capsys.readouterr()
+        document = json.loads(captured.out)  # stdout is one JSON document
+        report = ExperimentReport.from_dict(document)
+        assert report.experiment == "fig7"
+        assert report.to_dict() == document
+        assert "runtime:" in captured.err  # decorations moved to stderr
+
+    def test_warm_rerun_exports_identical_results(self, tmp_path, capsys):
+        """Acceptance: cold vs. warm cache export bit-identical numbers (the
+        volatile run accounting is the only differing field)."""
+        args = [
+            "run", "fig7", "--quick", "--json",
+            "--duration", "0.05", "--max-time", "0.05",
+            "--cache-dir", str(tmp_path / "cache"),
+        ]
+        assert main(args) == 0
+        cold = json.loads(capsys.readouterr().out)
+        assert main(args) == 0
+        warm = json.loads(capsys.readouterr().out)
+        assert warm != cold  # run accounting differs...
+        cold.pop("run")
+        warm.pop("run")
+        assert warm == cold  # ...and nothing else does
+
+    def test_csv_export_is_stable_across_cache_states(self, tmp_path, capsys):
+        args = [
+            "run", "fig5", "--csv", "--cache-dir", str(tmp_path / "cache"),
+        ]
+        assert main(args) == 0
+        cold = capsys.readouterr().out
+        assert main(args) == 0
+        warm = capsys.readouterr().out
+        assert warm == cold
+        assert cold.startswith("experiment,fig5")
+        assert "metrics" in cold
+
+    def test_multiple_targets_emit_a_json_array(self, tmp_path, capsys):
+        args = [
+            "run", "table1", "table2", "--json", "--no-cache",
+        ]
+        assert main(args) == 0
+        documents = json.loads(capsys.readouterr().out)
+        assert [d["experiment"] for d in documents] == ["table1", "table2"]
+        for document in documents:
+            ExperimentReport.from_dict(document)
+
+    def test_out_writes_files(self, tmp_path, capsys):
+        out_dir = tmp_path / "reports"
+        args = [
+            "run", "table1", "table2", "--no-cache", "--out", str(out_dir),
+        ]
+        assert main(args) == 0
+        capsys.readouterr()
+        for name in ("table1", "table2"):
+            document = json.loads((out_dir / f"{name}.json").read_text())
+            assert ExperimentReport.from_dict(document).experiment == name
+
+    def test_out_single_file_csv(self, tmp_path, capsys):
+        out_file = tmp_path / "table1.csv"
+        args = ["run", "table1", "--no-cache", "--csv", "--out", str(out_file)]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert out_file.read_text().startswith("experiment,table1")
+
+    def test_json_and_csv_are_mutually_exclusive(self, capsys):
+        assert main(["run", "table1", "--json", "--csv", "--no-cache"]) == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_repeated_target_exports_once_per_request(self, capsys):
+        assert main(["run", "table1", "table1", "--json", "--no-cache"]) == 0
+        documents = json.loads(capsys.readouterr().out)
+        assert [d["experiment"] for d in documents] == ["table1", "table1"]
+
+    def test_out_existing_file_with_multiple_targets_fails_cleanly(
+        self, tmp_path, capsys
+    ):
+        out_file = tmp_path / "results.json"
+        out_file.write_text("{}")
+        args = ["run", "table1", "table2", "--no-cache", "--out", str(out_file)]
+        assert main(args) == 2
+        assert "must be a directory" in capsys.readouterr().err
+
+    def test_out_repeated_target_writes_numbered_files(self, tmp_path, capsys):
+        out_dir = tmp_path / "reports"
+        args = ["run", "table1", "table1", "--no-cache", "--out", str(out_dir)]
+        assert main(args) == 0
+        capsys.readouterr()
+        for filename in ("table1.json", "table1.2.json"):
+            document = json.loads((out_dir / filename).read_text())
+            assert document["experiment"] == "table1"
+
+    def test_out_files_are_written_incrementally(self, tmp_path, capsys):
+        """A failure in a later target must not discard finished reports."""
+        out_dir = tmp_path / "reports"
+        args = [
+            "run", "table1", "fig7", "--no-cache", "--out", str(out_dir),
+            "--duration", "0.05", "--max-time", "0.05", "--quick",
+        ]
+        assert main(args) == 0
+        captured = capsys.readouterr().err
+        # table1's file is announced before fig7 even starts running.
+        assert captured.index("wrote") < captured.index("== fig7 ==")
+        assert (out_dir / "table1.json").exists()
+
+
+class TestScenarioSweepExport:
+    def test_sweep_json_stdout_is_pure(self, capsys):
+        assert main([
+            "scenarios", "sweep", "--quick", "--json", "--no-cache",
+            "--max-time", "0.05",
+        ]) == 0
+        captured = capsys.readouterr()
+        document = json.loads(captured.out)  # no trailing decorations
+        assert document["rows"]
+        assert "runtime:" in captured.err
 
 
 class TestCache:
