@@ -29,8 +29,8 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
-from repro import config
 from repro.experiments.api import ExperimentSpec, get_spec, registry
+from repro.hw import HardwareSpec, resolve_hardware
 from repro.experiments.report import (
     ExperimentReport,
     Metric,
@@ -51,6 +51,7 @@ from repro.sim.result import SimulationResult
 __all__ = [
     "ExperimentReport",
     "ExperimentSpec",
+    "HardwareSpec",
     "Metric",
     "RunInfo",
     "Series",
@@ -75,8 +76,17 @@ class Session:
         ``$REPRO_CACHE_DIR``).  Pass ``cache=False`` to disable caching.
     cache:
         Whether to consult/populate the content-addressed result cache.
+    platform:
+        The hardware description the session simulates: a registered name
+        (``"skylake"``, ``"broadwell"``, ``python -m repro hw list``), a
+        :class:`~repro.hw.HardwareSpec`, or ``None`` for the default Skylake.
+    overrides:
+        Hardware derivation deltas applied over ``platform`` (the
+        :meth:`HardwareSpec.derive` keywords, e.g. ``{"tdp": 5.5}`` or
+        ``{"uncore_leakage_coeff_scale": 1.08}``).
     tdp:
-        Package TDP in watts for the session platform.
+        Package TDP in watts for the session platform (shorthand for the
+        corresponding ``overrides`` entry).
     duration:
         Default workload-trace duration in seconds.
     max_time:
@@ -91,7 +101,9 @@ class Session:
         jobs: int = 1,
         cache_dir: Optional[str] = None,
         cache: bool = True,
-        tdp: float = config.SKYLAKE_DEFAULT_TDP,
+        platform: Optional[object] = None,
+        overrides: Optional[Dict[str, object]] = None,
+        tdp: Optional[float] = None,
         duration: float = 1.0,
         max_time: Optional[float] = None,
         progress=None,
@@ -103,10 +115,19 @@ class Session:
             cache=ResultCache(cache_dir or default_cache_dir()) if cache else None,
             progress=progress,
         )
+        hardware = resolve_hardware(platform)
+        if overrides:
+            hardware = hardware.derive(**overrides)
+        self._hardware = hardware
         self._tdp = tdp
         self._duration = duration
         self._max_time = max_time
         self._context: Optional[ExperimentContext] = None
+
+    @property
+    def hardware(self) -> HardwareSpec:
+        """The session's hardware description (before any ``tdp`` shorthand)."""
+        return self._hardware
 
     # ------------------------------------------------------------------
     @property
@@ -122,6 +143,7 @@ class Session:
                     else None
                 ),
                 runtime=self.runtime,
+                hardware=self._hardware,
             )
         return self._context
 

@@ -45,6 +45,7 @@ from repro.experiments.fig7 import run_fig7_spec
 from repro.experiments.fig8 import run_fig8_graphics
 from repro.experiments.fig9 import run_fig9_battery_life
 from repro.experiments.fig10 import run_fig10_tdp_sensitivity
+from repro.experiments.hwsweep import run_hwsweep
 from repro.experiments.scenario_robustness import run_scenario_robustness
 from repro.experiments.sensitivity import run_dram_frequency_sensitivity
 
@@ -78,6 +79,7 @@ __all__ = [
     "run_fig8_graphics",
     "run_fig9_battery_life",
     "run_fig10_tdp_sensitivity",
+    "run_hwsweep",
     "run_scenario_robustness",
     "run_dram_frequency_sensitivity",
 ]

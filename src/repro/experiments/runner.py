@@ -19,6 +19,7 @@ from repro import config
 from repro.core.operating_points import OperatingPointTable, build_default_operating_points
 from repro.core.sysscale import SysScaleController, default_thresholds
 from repro.core.thresholds import CounterThresholds
+from repro.hw import HardwareSpec, resolve_hardware
 from repro.runtime.cache import ResultCache
 from repro.runtime.executor import (
     ExecutionReport,
@@ -38,7 +39,7 @@ from repro.runtime.jobs import (
     TraceSpec,
 )
 from repro.sim.engine import SimulationConfig, SimulationEngine
-from repro.sim.platform import Platform, build_platform
+from repro.sim.platform import Platform
 from repro.sim.result import SimulationResult
 
 
@@ -109,6 +110,10 @@ class ExperimentContext:
     operating_points: OperatingPointTable
     workload_duration: float = 1.0
     runtime: ExperimentRuntime = field(default_factory=ExperimentRuntime)
+    #: The hardware description ``platform`` was built from, when known.
+    #: ``build_context`` always sets it; contexts wrapping hand-built
+    #: platforms leave it ``None`` and fall back to spec verification.
+    hardware: Optional[HardwareSpec] = None
     _verified_platform_spec: Optional[PlatformSpec] = field(
         default=None, init=False, repr=False
     )
@@ -125,15 +130,19 @@ class ExperimentContext:
     # Job construction
     # ------------------------------------------------------------------
     def platform_spec(self) -> PlatformSpec:
-        """The declarative spec matching this context's platform.
+        """The declarative hardware description matching this context's platform.
 
-        A :class:`PlatformSpec` can only express what ``build_platform``'s
-        knobs express (TDP, DRAM family, fixed power).  If this context wraps
-        a customized platform -- a hand-built SoC, modified DRAM timings --
-        jobs built from the spec would silently simulate different hardware,
-        so the first call verifies the spec reproduces this platform and
-        raises if it cannot.
+        Contexts built by :func:`build_context` carry their
+        :class:`~repro.hw.spec.HardwareSpec` directly -- the platform was
+        materialized from it, so jobs built from the spec simulate exactly
+        this hardware.  For contexts wrapping a hand-built platform the
+        default description is derived from the platform's knobs and verified
+        against it once; a platform the derived spec cannot reproduce (a
+        customized SoC, modified DRAM timings) raises rather than letting
+        runtime jobs silently simulate different hardware.
         """
+        if self.hardware is not None:
+            return self.hardware
         spec = PlatformSpec(
             tdp=self.platform.tdp,
             dram=self.platform.dram.technology.value,
@@ -212,14 +221,31 @@ class ExperimentContext:
 
 
 def build_context(
-    tdp: float = config.SKYLAKE_DEFAULT_TDP,
+    tdp: Optional[float] = None,
     workload_duration: float = 1.0,
     sim_config: Optional[SimulationConfig] = None,
     runtime: Optional[ExperimentRuntime] = None,
+    hardware: Optional[object] = None,
 ) -> ExperimentContext:
-    """Build the default experiment context (Skylake M-6Y75, Table 2)."""
-    platform = build_platform(tdp=tdp)
-    operating_points = build_default_operating_points(platform)
+    """Build an experiment context for a hardware description.
+
+    ``hardware`` is a registered platform name, a
+    :class:`~repro.hw.spec.HardwareSpec`, or ``None`` for the default Skylake
+    M-6Y75 of Table 2.  ``tdp``, when given, is applied as a derivation over
+    that description (the historical ``build_context(tdp=...)`` call shape).
+    """
+    spec = resolve_hardware(hardware)
+    if tdp is not None and tdp != spec.tdp:
+        spec = spec.derive(tdp=tdp)
+    platform = spec.build()
+    if spec.dram.technology == "ddr4":
+        # Match the operating-point table to the DRAM family, exactly as the
+        # runtime's sysscale builder does for DDR4 platforms.
+        from repro.core.operating_points import build_ddr4_operating_points
+
+        operating_points = build_ddr4_operating_points()
+    else:
+        operating_points = build_default_operating_points(platform)
     thresholds = default_thresholds(platform, operating_points)
     engine = SimulationEngine(platform, sim_config)
     return ExperimentContext(
@@ -229,6 +255,7 @@ def build_context(
         operating_points=operating_points,
         workload_duration=workload_duration,
         runtime=runtime or ExperimentRuntime(),
+        hardware=spec,
     )
 
 

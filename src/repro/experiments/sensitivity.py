@@ -19,9 +19,7 @@ from repro.core.operating_points import (
 from repro.experiments.api import experiment
 from repro.experiments.report import ExperimentReport, Metric
 from repro.experiments.runner import ExperimentContext, build_context
-from repro.memory.dram import ddr4_device
-from repro.runtime.jobs import PointSpec, TraceSpec
-from repro.sim.platform import build_platform
+from repro.runtime.jobs import PointSpec, TraceSpec, platform_for
 from repro.workloads.trace import WorkloadClass
 
 TITLE = "Sec. 7.4: DRAM device and operating-point sensitivity"
@@ -46,7 +44,10 @@ def run_dram_frequency_sensitivity(
     )
 
     # --- DDR4 1.86 -> 1.33 GHz ---------------------------------------------------
-    ddr4_platform = build_platform(tdp=context.platform.tdp, dram=ddr4_device())
+    # The DDR4 platform is a declarative delta over this context's hardware
+    # description, materialized through the same worker-local memo the runtime
+    # jobs use -- no imperative build_platform(...) bypass.
+    ddr4_platform = platform_for(context.platform_spec().derive(dram="ddr4"))
     ddr4_points = build_ddr4_operating_points()
     ddr4_savings = ddr4_platform.worst_case_io_memory_power(
         dram_frequency=ddr4_points.high.dram_frequency

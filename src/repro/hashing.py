@@ -1,0 +1,25 @@
+"""Canonical JSON encoding and content hashing shared across spec layers.
+
+Every declarative spec in the reproduction -- jobs, scenarios, hardware
+descriptions -- keys caches and registries on the SHA-256 hash of its canonical
+JSON encoding.  The helpers live in this dependency-free module so that both
+:mod:`repro.runtime.jobs` (which hashes jobs) and :mod:`repro.hw` (which jobs
+themselves depend on) can share one definition without an import cycle.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any
+
+
+def canonical_json(data: Any) -> str:
+    """The canonical JSON encoding used for hashing (sorted keys, no spaces)."""
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+
+def content_hash(data: Any) -> str:
+    """SHA-256 content hash (hex) of ``data``'s canonical JSON encoding."""
+    digest = hashlib.sha256(canonical_json(data).encode("utf-8"))
+    return digest.hexdigest()

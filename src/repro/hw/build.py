@@ -1,0 +1,107 @@
+"""Materialize hardware descriptions: spec -> SoC -> assembled platform.
+
+This module is the single bridge from the declarative layer
+(:class:`~repro.hw.spec.HardwareSpec`) to the live object layer
+(:class:`~repro.soc.skylake.SkylakeSoC`, :class:`~repro.sim.platform.Platform`).
+Every constructor is a pure function of the spec: building the same spec twice
+-- in this process, a worker process, or next week -- yields platforms that
+produce bit-identical simulation results.
+"""
+
+from __future__ import annotations
+
+from repro.hw.spec import HardwareSpec
+from repro.sim.platform import Platform, assemble_platform
+from repro.soc.components import (
+    CpuCluster,
+    DdrioInterface,
+    DisplayEngine,
+    GraphicsEngine,
+    IoInterconnect,
+    IspEngine,
+    MemoryControllerComponent,
+    Uncore,
+)
+from repro.soc.skylake import SkylakeSoC
+from repro.soc.vf_curves import PStateTable, VFCurve
+from repro.soc.vr import RailName, build_default_rails
+
+
+def soc_from_spec(spec: HardwareSpec) -> SkylakeSoC:
+    """Construct the SoC description a :class:`HardwareSpec` encodes."""
+    cpu_curve = VFCurve(points=spec.cpu_vf_points)
+    gfx_curve = VFCurve(points=spec.gfx_vf_points)
+    return SkylakeSoC(
+        name=spec.soc_name,
+        tdp=spec.tdp,
+        cpu=CpuCluster(
+            name="cpu_cluster",
+            rail=RailName.V_CORE,
+            ceff=spec.cpu_ceff,
+            leakage_coeff=spec.cpu_leakage_coeff,
+            core_count=spec.cpu_core_count,
+            threads_per_core=spec.cpu_threads_per_core,
+            base_frequency=spec.cpu_base_frequency,
+        ),
+        gfx=GraphicsEngine(
+            name="graphics_engine",
+            rail=RailName.V_GFX,
+            ceff=spec.gfx_ceff,
+            leakage_coeff=spec.gfx_leakage_coeff,
+            base_frequency=spec.gfx_base_frequency,
+        ),
+        uncore=Uncore(
+            name="uncore",
+            rail=RailName.V_CORE,
+            ceff=spec.uncore_ceff,
+            leakage_coeff=spec.uncore_leakage_coeff,
+            llc_bytes=spec.llc_bytes,
+        ),
+        display=DisplayEngine(name="display_engine", rail=RailName.V_SA),
+        isp=IspEngine(name="isp_engine", rail=RailName.V_SA),
+        io_interconnect=IoInterconnect(
+            name="io_interconnect",
+            rail=RailName.V_SA,
+            high_frequency=spec.io_interconnect_high_frequency,
+            low_frequency=spec.io_interconnect_low_frequency,
+        ),
+        memory_controller=MemoryControllerComponent(
+            name="memory_controller", rail=RailName.V_SA
+        ),
+        ddrio=DdrioInterface(name="ddrio", rail=RailName.V_IO),
+        dram=spec.dram.device(),
+        rails=build_default_rails(
+            v_sa_nominal=spec.v_sa_nominal,
+            v_io_nominal=spec.v_io_nominal,
+            vddq_nominal=spec.vddq_nominal,
+            v_core_nominal=spec.v_core_nominal,
+            v_gfx_nominal=spec.v_gfx_nominal,
+            v_sa_min_scale=spec.v_sa_low_scale,
+            v_io_min_scale=spec.v_io_low_scale,
+        ),
+        cpu_curve=cpu_curve,
+        gfx_curve=gfx_curve,
+        cpu_pstates=PStateTable.from_curve(
+            cpu_curve, spec.cpu_pstate_frequencies, prefix="P"
+        ),
+        gfx_pstates=PStateTable.from_curve(
+            gfx_curve, spec.gfx_pstate_frequencies, prefix="GP"
+        ),
+        process_node_nm=spec.process_node_nm,
+    )
+
+
+def build_platform_from_spec(spec: HardwareSpec) -> Platform:
+    """Assemble a complete evaluation platform from a hardware description."""
+    return assemble_platform(
+        soc_from_spec(spec),
+        platform_fixed_power=spec.platform_fixed_power,
+        mc_power_high=spec.mc_power_high,
+        interconnect_power_high=spec.interconnect_power_high,
+        io_engines_power_high=spec.io_engines_power_high,
+        ddrio_digital_power_high=spec.ddrio_digital_power_high,
+        dram_background_power_high=spec.dram_background_power_high,
+        dram_background_frequency_fraction=spec.dram_background_frequency_fraction,
+        dram_operation_energy_per_byte=spec.dram_operation_energy_per_byte,
+        dram_self_refresh_power=spec.dram_self_refresh_power,
+    )

@@ -1,0 +1,123 @@
+"""The named hardware catalog: platforms addressable by name everywhere.
+
+Registered specs back the ``--platform NAME`` CLI flag, the ``hw``
+subcommands, hardware-grid campaigns, and the ``hwsweep`` experiment.  Every
+entry except the Skylake base is a *delta* over another entry, expressed
+through :meth:`~repro.hw.spec.HardwareSpec.derive` -- Broadwell is a Skylake
+variant with a hotter uncore, not a subclass mutating fields after
+construction.
+
+Nothing stops code from minting ad-hoc specs beyond the catalog:
+``get_hardware("skylake").derive(tdp=5.5)`` is a first-class platform the
+runtime caches and parallelizes like any registered one.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Union
+
+from repro.hw.spec import HardwareSpec
+
+#: Every registered hardware description, by name.
+HARDWARE: Dict[str, HardwareSpec] = {}
+
+
+def register_hardware(spec: HardwareSpec) -> HardwareSpec:
+    """Add ``spec`` to the catalog under ``spec.name`` (names are unique)."""
+    if spec.name in HARDWARE:
+        raise ValueError(f"hardware {spec.name!r} is already registered")
+    HARDWARE[spec.name] = spec
+    return spec
+
+
+def get_hardware(name: str) -> HardwareSpec:
+    """Look a spec up by name, with a helpful error listing known platforms."""
+    spec = HARDWARE.get(name)
+    if spec is None:
+        raise KeyError(
+            f"unknown hardware {name!r}; known: {', '.join(sorted(HARDWARE))}"
+        )
+    return spec
+
+
+def resolve_hardware(
+    hardware: Optional[Union[str, HardwareSpec]] = None,
+) -> HardwareSpec:
+    """Normalize a platform argument (name, spec, or ``None``) to a spec."""
+    if hardware is None:
+        return SKYLAKE
+    if isinstance(hardware, HardwareSpec):
+        return hardware
+    if isinstance(hardware, str):
+        return get_hardware(hardware)
+    raise TypeError(
+        f"cannot interpret {type(hardware).__name__} as a hardware description"
+    )
+
+
+# ---------------------------------------------------------------------------
+# The catalog
+# ---------------------------------------------------------------------------
+
+#: The Skylake M-6Y75 evaluation platform of Table 2 (the default everywhere).
+SKYLAKE = register_hardware(
+    HardwareSpec(description="Intel Core M-6Y75, the Table 2 evaluation platform")
+)
+
+#: The Broadwell M-5Y71 motivation platform of Sec. 3: one process generation
+#: older, modelled as ~8 % higher uncore leakage over the Skylake description.
+BROADWELL = register_hardware(
+    SKYLAKE.derive(
+        name="broadwell",
+        soc_name="Intel Core M-5Y71 (Broadwell)",
+        uncore_leakage_coeff_scale=1.08,
+        description="Intel Core M-5Y71, the Sec. 3 motivation platform",
+    )
+)
+
+register_hardware(
+    SKYLAKE.derive(
+        name="skylake-3.5w",
+        tdp=3.5,
+        description="Skylake at the bottom of the Table 2 cTDP range",
+    )
+)
+
+register_hardware(
+    SKYLAKE.derive(
+        name="skylake-7w",
+        tdp=7.0,
+        description="Skylake at the top of the Table 2 cTDP range",
+    )
+)
+
+register_hardware(
+    SKYLAKE.derive(
+        name="skylake-ddr4",
+        dram="ddr4",
+        description="Skylake with the DDR4 device of the Sec. 7.4 study",
+    )
+)
+
+register_hardware(
+    SKYLAKE.derive(
+        name="skylake-lowleak",
+        cpu_leakage_coeff_scale=0.85,
+        gfx_leakage_coeff_scale=0.85,
+        uncore_leakage_coeff_scale=0.85,
+        description="a well-binned die: 15 % lower leakage in every domain",
+    )
+)
+
+register_hardware(
+    SKYLAKE.derive(
+        name="skylake-28mm2",
+        llc_bytes=2 * 1024 * 1024,
+        uncore_ceff_scale=0.85,
+        cpu_leakage_coeff_scale=0.9,
+        gfx_leakage_coeff_scale=0.9,
+        uncore_leakage_coeff_scale=0.9,
+        description="a die-shrink what-if: half the LLC, smaller uncore, "
+        "proportionally less leakage",
+    )
+)

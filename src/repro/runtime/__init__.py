@@ -8,12 +8,20 @@ The runtime turns the reproduction's simulation sweeps into declarative jobs:
 * :mod:`repro.runtime.executor` -- a serial executor and a process-pool
   executor that rebuild platforms per worker and report per-job progress;
 * :mod:`repro.runtime.campaign` -- declarative sweep grids (workload x policy
-  x TDP x DRAM device), deduplicated before submission;
+  x TDP x DRAM device, or x explicit hardware variants), deduplicated before
+  submission;
 * :mod:`repro.runtime.cli` -- the ``python -m repro`` command line.
 """
 
+from repro.hw import DramSpec, HardwareSpec
 from repro.runtime.cache import CacheStats, ResultCache, default_cache_dir
-from repro.runtime.campaign import CAMPAIGNS, Campaign, build_grid_campaign, dedupe_jobs
+from repro.runtime.campaign import (
+    CAMPAIGNS,
+    Campaign,
+    build_grid_campaign,
+    build_hardware_grid_campaign,
+    dedupe_jobs,
+)
 from repro.runtime.executor import (
     ExecutionReport,
     Executor,
@@ -45,7 +53,9 @@ __all__ = [
     "Campaign",
     "DegradationJob",
     "DegradationMeasurement",
+    "DramSpec",
     "ExecutionReport",
+    "HardwareSpec",
     "Executor",
     "Job",
     "JobOutcome",
@@ -60,6 +70,7 @@ __all__ = [
     "SimulationJob",
     "TraceSpec",
     "build_grid_campaign",
+    "build_hardware_grid_campaign",
     "clear_memos",
     "decode_result",
     "dedupe_jobs",

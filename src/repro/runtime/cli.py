@@ -1,17 +1,24 @@
 """The ``python -m repro`` command line.
 
-Four subcommands:
+Five subcommands:
 
 * ``list`` -- every runnable target (the registered experiments plus the named
   sweep campaigns) and every registered building block: trace builders,
-  policies, DRAM devices, and the scenario catalog;
+  policies, hardware platforms, DRAM devices, and the scenario catalog;
 * ``run TARGET [TARGET ...]`` -- run targets through the runtime, with
   ``--jobs N`` (process parallelism), ``--cache-dir``/``--no-cache`` (the
   content-addressed result store), ``--quick`` (reduced workload sets),
-  ``--duration``/``--max-time`` (trace/engine scaling for smoke runs), and
-  ``--json``/``--csv``/``--out`` (structured report export);
+  ``--duration``/``--max-time`` (trace/engine scaling for smoke runs),
+  ``--platform NAME``/``--set key=value`` (the hardware description to
+  simulate, from the ``repro.hw`` registry plus derivation deltas),
+  ``--param key=value`` (per-experiment parameters, validated against each
+  target's ``ExperimentSpec.params``), and ``--json``/``--csv``/``--out``
+  (structured report export);
+* ``hw`` -- the hardware catalog: ``list`` it, ``describe`` one platform, or
+  print content ``hash``es;
 * ``scenarios`` -- the synthesized-workload catalog: ``list`` it, ``describe``
-  one spec, or ``sweep`` scenarios x policies through the runtime;
+  one spec, or ``sweep`` scenarios x policies through the runtime (also
+  accepts ``--platform``/``--set``);
 * ``cache`` -- inspect or clear the result store.
 
 The experiment dispatch, per-target help text, and ignored-flag warnings are
@@ -50,11 +57,11 @@ from repro.experiments.report import (
     render_text,
 )
 from repro.experiments.runner import ExperimentContext, ExperimentRuntime
+from repro.hw import DRAM_SPECS, HARDWARE, HardwareSpec, get_hardware
 from repro.runtime.cache import ResultCache, default_cache_dir
 from repro.runtime.campaign import CAMPAIGNS, scenario_campaign
 from repro.runtime.executor import ProgressUpdate, make_executor
 from repro.runtime.jobs import (
-    DRAM_BUILDERS,
     POLICY_BUILDERS,
     TRACE_BUILDERS,
     PolicySpec,
@@ -66,6 +73,45 @@ from repro.sim.engine import SimulationConfig
 
 def _available_targets() -> List[str]:
     return list(registry()) + list(CAMPAIGNS)
+
+
+class _CliError(Exception):
+    """A user-input error: print the message to stderr and exit 2."""
+
+
+def _parse_assignments(pairs: Optional[List[str]], flag: str) -> Dict[str, Any]:
+    """Parse repeated ``key=value`` flag values into a keyword dictionary.
+
+    Values are decoded as JSON where possible (``tdp=5.5`` -> float,
+    ``subset='["470.lbm"]'`` -> list) and fall back to plain strings
+    (``dram=ddr4``), so one syntax covers numbers, flags, and names.
+    """
+    assignments: Dict[str, Any] = {}
+    for pair in pairs or []:
+        key, sep, raw = pair.partition("=")
+        if not sep or not key:
+            raise _CliError(f"{flag} expects key=value, got {pair!r}")
+        try:
+            value: Any = json.loads(raw)
+        except json.JSONDecodeError:
+            value = raw
+        assignments[key] = value
+    return assignments
+
+
+def _hardware_from_args(args: argparse.Namespace) -> Optional[HardwareSpec]:
+    """The ``--platform``/``--set`` hardware description, or ``None`` if unset."""
+    platform = getattr(args, "platform", None)
+    overrides = _parse_assignments(getattr(args, "set", None), "--set")
+    if platform is None and not overrides:
+        return None
+    try:
+        hardware = get_hardware(platform or "skylake")
+        if overrides:
+            hardware = hardware.derive(**overrides)
+    except (KeyError, TypeError, ValueError) as error:
+        raise _CliError(f"invalid hardware description: {error}") from error
+    return hardware
 
 
 class _ProgressPrinter:
@@ -128,8 +174,9 @@ def _cmd_list(args: argparse.Namespace) -> int:
     print("policies (PolicySpec.make(<builder>, ...)):")
     for name in sorted(POLICY_BUILDERS):
         print(f"  {name}")
-    print("platforms (PlatformSpec knobs):")
-    print(f"  dram: {', '.join(sorted(DRAM_BUILDERS))}")
+    print("platforms (repro.hw registry; run --platform NAME --set key=value):")
+    _print_hardware_catalog()
+    print(f"  dram: {', '.join(sorted(DRAM_SPECS))}")
     print(
         f"  tdp: default {config.SKYLAKE_DEFAULT_TDP:g} W "
         f"(evaluated range {config.SKYLAKE_TDP_RANGE[0]:g}-"
@@ -146,10 +193,11 @@ def _run_experiment(
     spec: ExperimentSpec,
     context: ExperimentContext,
     args: argparse.Namespace,
+    params: Dict[str, Any],
 ) -> ExperimentReport:
     """One registry target, with ignored-flag warnings derived from the spec."""
     changed = {
-        "--tdp": args.tdp != config.SKYLAKE_DEFAULT_TDP,
+        "--tdp": args.tdp is not None,
         "--duration": args.duration != 1.0,
     }
     ignored = [flag for flag in spec.ignored_flags if changed.get(flag)]
@@ -158,7 +206,25 @@ def _run_experiment(
             f"note: {'/'.join(ignored)} do(es) not apply to {spec.name!r}",
             file=sys.stderr,
         )
-    return spec.run(context, quick=args.quick)
+    accepted = {key: value for key, value in params.items() if key in spec.params}
+    dropped = sorted(set(params) - set(accepted))
+    if dropped:
+        known = ", ".join(spec.params) if spec.params else "none"
+        print(
+            f"note: --param {'/'.join(dropped)} do(es) not apply to "
+            f"{spec.name!r} (accepted: {known})",
+            file=sys.stderr,
+        )
+    if not accepted:
+        return spec.run(context, quick=args.quick)
+    try:
+        return spec.run(context, quick=args.quick, **accepted)
+    except (KeyError, TypeError, ValueError) as error:
+        # Only --param invocations reach here: a bad value (unknown hardware
+        # name, too few variants, wrong shape) is user input, not a crash.
+        raise _CliError(
+            f"invalid --param value for {spec.name!r}: {error}"
+        ) from error
 
 
 def _run_campaign(
@@ -166,18 +232,20 @@ def _run_campaign(
     runtime: ExperimentRuntime,
     args: argparse.Namespace,
     sim_config: Optional[SimulationConfig],
+    hardware: Optional[HardwareSpec],
 ) -> ExperimentReport:
     """One named campaign, wrapped into the same report type as experiments."""
     # Campaign jobs carry their own platform and trace specs; of the context
-    # flags only --max-time is folded in, so say so rather than silently
-    # presenting default-platform numbers.
-    if args.tdp != config.SKYLAKE_DEFAULT_TDP or args.duration != 1.0:
+    # flags only --max-time and --platform/--set are folded in, so say so
+    # rather than silently presenting default-platform numbers.
+    if args.tdp is not None or args.duration != 1.0:
         print(
             f"note: --tdp/--duration do not apply to campaign {target!r} "
-            "(its jobs define their own platforms and trace durations)",
+            "(its jobs define their own platforms and trace durations; "
+            "use --platform/--set for the hardware)",
             file=sys.stderr,
         )
-    campaign = CAMPAIGNS[target](args.quick)
+    campaign = CAMPAIGNS[target](args.quick, hardware=hardware)
     if sim_config is not None:
         campaign = campaign.with_sim(SimSpec.from_config(sim_config))
     before = runtime.accounting()
@@ -275,6 +343,24 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.json and args.csv:
         print("--json and --csv are mutually exclusive", file=sys.stderr)
         return 2
+    hardware = _hardware_from_args(args)
+    params = _parse_assignments(args.param, "--param")
+    # A parameter no requested target accepts is a typo, not a no-op.
+    accepted_anywhere = {
+        name
+        for target in args.targets
+        if target in specs
+        for name in specs[target].params
+    }
+    bogus = sorted(set(params) - accepted_anywhere)
+    if bogus:
+        known = ", ".join(sorted(accepted_anywhere)) or "none for these targets"
+        print(
+            f"unknown experiment parameter(s): {', '.join(bogus)}; "
+            f"accepted: {known}",
+            file=sys.stderr,
+        )
+        return 2
     for flag, value, minimum in (
         ("--jobs", args.jobs, 1),
         ("--duration", args.duration, None),
@@ -314,6 +400,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         workload_duration=args.duration,
         sim_config=sim_config,
         runtime=runtime,
+        hardware=hardware,
     )
 
     reports: List[tuple] = []
@@ -322,9 +409,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"== {target} ==", file=info)
         started = time.perf_counter()
         if target in specs:
-            report = _run_experiment(specs[target], context, args)
+            report = _run_experiment(specs[target], context, args, params)
         else:
-            report = _run_campaign(target, runtime, args, sim_config)
+            report = _run_campaign(target, runtime, args, sim_config, hardware)
         elapsed = time.perf_counter() - started
         reports.append((target, report))
         if args.out is not None:
@@ -339,6 +426,82 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"runtime: {runtime.summary()}", file=info)
     if runtime.cache is not None:
         print(f"cache: {runtime.cache.root} ({len(runtime.cache)} entries)", file=info)
+    return 0
+
+
+def _print_hardware_catalog() -> None:
+    """One line per registered platform (shared by ``list`` and ``hw list``)."""
+    for name in sorted(HARDWARE):
+        spec = HARDWARE[name]
+        print(f"  {name:18s} {spec.label:24s} {spec.description}")
+
+
+def _cmd_hw_list(args: argparse.Namespace) -> int:
+    if args.json:
+        print(
+            json.dumps(
+                {name: HARDWARE[name].to_dict() for name in sorted(HARDWARE)},
+                indent=2,
+            )
+        )
+        return 0
+    _print_hardware_catalog()
+    print(
+        f"{len(HARDWARE)} platform(s); describe one with: hw describe NAME, "
+        "derive variants with: run --platform NAME --set key=value"
+    )
+    return 0
+
+
+def _cmd_hw_describe(args: argparse.Namespace) -> int:
+    try:
+        spec = get_hardware(args.name)
+    except KeyError as error:
+        print(str(error.args[0]), file=sys.stderr)
+        return 2
+    if args.set:
+        try:
+            spec = spec.derive(**_parse_assignments(args.set, "--set"))
+        except (KeyError, TypeError, ValueError) as error:
+            print(f"invalid hardware description: {error}", file=sys.stderr)
+            return 2
+    platform = spec.build()
+    details = {
+        "spec": spec.to_dict(),
+        "description": spec.description,
+        "content_hash": spec.content_hash,
+        "platform": platform.describe(),
+    }
+    if args.json:
+        print(json.dumps(details, indent=2))
+        return 0
+    print(f"hardware {spec.name!r}: {spec.description}")
+    print(f"  label: {spec.label}")
+    print(f"  content hash: {spec.content_hash}")
+    for key, value in spec.describe().items():
+        if key == "content_hash":
+            continue
+        formatted = f"{value:.4g}" if isinstance(value, float) else value
+        print(f"  {key}: {formatted}")
+    print(
+        "  worst_case_io_memory_power_w: "
+        f"{platform.describe()['worst_case_io_memory_power_w']:.4g}"
+    )
+    return 0
+
+
+def _cmd_hw_hash(args: argparse.Namespace) -> int:
+    names = args.names or sorted(HARDWARE)
+    unknown = [name for name in names if name not in HARDWARE]
+    if unknown:
+        print(
+            f"unknown hardware: {', '.join(unknown)}; "
+            f"known: {', '.join(sorted(HARDWARE))}",
+            file=sys.stderr,
+        )
+        return 2
+    for name in names:
+        print(f"{HARDWARE[name].content_hash}  {name}")
     return 0
 
 
@@ -422,7 +585,9 @@ def _cmd_scenarios_sweep(args: argparse.Namespace) -> int:
         if args.policies
         else None
     )
-    campaign = scenario_campaign(quick=args.quick, policies=policies)
+    campaign = scenario_campaign(
+        quick=args.quick, policies=policies, hardware=_hardware_from_args(args)
+    )
     if args.max_time is not None:
         campaign = campaign.with_sim(SimSpec(max_simulated_time=args.max_time))
 
@@ -505,6 +670,25 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_hardware_flags(parser: argparse.ArgumentParser) -> None:
+    """The hardware-description flags shared by ``run`` and ``scenarios sweep``."""
+    parser.add_argument(
+        "--platform", default=None, metavar="NAME",
+        help=(
+            "hardware description to simulate (see `hw list`; "
+            "default: skylake)"
+        ),
+    )
+    parser.add_argument(
+        "--set", action="append", default=None, metavar="KEY=VALUE",
+        help=(
+            "hardware derivation override (repeatable): a HardwareSpec field "
+            "(tdp=5.5, dram=ddr4) or <field>_scale multiplier "
+            "(uncore_leakage_coeff_scale=1.08)"
+        ),
+    )
+
+
 def _add_runtime_flags(parser: argparse.ArgumentParser) -> None:
     """The executor/cache flags shared by ``run`` and ``scenarios sweep``."""
     parser.add_argument(
@@ -570,8 +754,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="cap simulated time per run (engine max_simulated_time)",
     )
     run_parser.add_argument(
-        "--tdp", type=float, default=config.SKYLAKE_DEFAULT_TDP, metavar="W",
-        help="package TDP in watts",
+        "--tdp", type=float, default=None, metavar="W",
+        help=(
+            "package TDP in watts (a derivation over the selected platform; "
+            f"default {config.SKYLAKE_DEFAULT_TDP:g})"
+        ),
+    )
+    _add_hardware_flags(run_parser)
+    run_parser.add_argument(
+        "--param", action="append", default=None, metavar="KEY=VALUE",
+        help=(
+            "experiment parameter override (repeatable), validated against "
+            "each target's registered params (see run --help epilog)"
+        ),
     )
     run_parser.add_argument(
         "--json", action="store_true",
@@ -589,6 +784,35 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     run_parser.set_defaults(handler=_cmd_run)
+
+    hw_parser = subparsers.add_parser(
+        "hw", help="the hardware description catalog (repro.hw)"
+    )
+    hw_sub = hw_parser.add_subparsers(dest="hw_command", required=True)
+    hw_list = hw_sub.add_parser("list", help="list the registered platforms")
+    hw_list.add_argument(
+        "--json", action="store_true", help="print the full specs as JSON"
+    )
+    hw_list.set_defaults(handler=_cmd_hw_list)
+    hw_describe = hw_sub.add_parser(
+        "describe", help="show one platform's spec, hash, and derived figures"
+    )
+    hw_describe.add_argument("name", metavar="NAME", help="registered platform name")
+    hw_describe.add_argument(
+        "--set", action="append", default=None, metavar="KEY=VALUE",
+        help="apply derivation overrides before describing",
+    )
+    hw_describe.add_argument(
+        "--json", action="store_true", help="print the details as JSON"
+    )
+    hw_describe.set_defaults(handler=_cmd_hw_describe)
+    hw_hash = hw_sub.add_parser(
+        "hash", help="print content hashes of registered platforms"
+    )
+    hw_hash.add_argument(
+        "names", nargs="*", metavar="NAME", help="platform names (default: all)"
+    )
+    hw_hash.set_defaults(handler=_cmd_hw_hash)
 
     scenarios_parser = subparsers.add_parser(
         "scenarios", help="the synthesized scenario catalog (repro.scenarios)"
@@ -613,6 +837,7 @@ def build_parser() -> argparse.ArgumentParser:
         "sweep", help="sweep scenarios x policies through the runtime"
     )
     _add_runtime_flags(scen_sweep)
+    _add_hardware_flags(scen_sweep)
     scen_sweep.add_argument(
         "--policies", nargs="+", metavar="POLICY",
         help="policy builders to sweep (default: baseline sysscale md_dvfs)",
@@ -646,7 +871,11 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point (also the ``repro`` console script)."""
     args = build_parser().parse_args(argv)
-    return args.handler(args)
+    try:
+        return args.handler(args)
+    except _CliError as error:
+        print(str(error), file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro

@@ -31,14 +31,16 @@ execution share one code path and produce bit-identical results.
 
 from __future__ import annotations
 
-import hashlib
-import json
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from functools import lru_cache
 from typing import Any, Callable, ClassVar, Dict, List, Optional, Tuple, Union
 
 from repro import config
+# Re-exported for compatibility: these helpers historically lived here and the
+# scenario registry (among others) imports them from this module.
+from repro.hashing import canonical_json, content_hash
+from repro.hw import DRAM_SPECS, HardwareSpec
 from repro.core.operating_points import (
     OperatingPoint,
     OperatingPointTable,
@@ -49,10 +51,9 @@ from repro.core.sysscale import SysScaleController, default_thresholds
 from repro.core.thresholds import ThresholdCalibrator
 from repro.baselines.fixed import FixedBaselinePolicy
 from repro.baselines.md_dvfs import StaticMdDvfsPolicy
-from repro.memory.dram import ddr4_device
 from repro.perf.counters import CounterName, CounterSample
 from repro.sim.engine import SimulationConfig, SimulationEngine
-from repro.sim.platform import Platform, build_platform
+from repro.sim.platform import Platform
 from repro.sim.policy import Policy
 from repro.sim.result import SimulationResult
 from repro.workloads.batterylife import battery_life_workload
@@ -95,17 +96,6 @@ def _params_to_jsonable(params: Params) -> Dict[str, Any]:
     return {
         key: list(value) if isinstance(value, tuple) else value for key, value in params
     }
-
-
-def canonical_json(data: Any) -> str:
-    """The canonical JSON encoding used for hashing (sorted keys, no spaces)."""
-    return json.dumps(data, sort_keys=True, separators=(",", ":"))
-
-
-def content_hash(data: Any) -> str:
-    """SHA-256 content hash (hex) of ``data``'s canonical JSON encoding."""
-    digest = hashlib.sha256(canonical_json(data).encode("utf-8"))
-    return digest.hexdigest()
 
 
 def _cached_job_hash(job) -> str:
@@ -246,12 +236,21 @@ MEMO_MAX_ENTRIES = 8
 
 
 def _build_sysscale(platform: Platform, operating_points: str = "default") -> Policy:
-    """SysScale with thresholds calibrated (once per platform) for it."""
+    """SysScale with thresholds calibrated (once per platform) for it.
+
+    ``"default"`` means *matched to the platform*: a DDR4 device gets the
+    Sec. 7.4 DDR4 table, everything else the LPDDR3 table of Table 1 --
+    scaling a DDR4 interface through LPDDR3 frequency points would simulate
+    operating points the device does not have.
+    """
     key = (id(platform), operating_points)
     memoized = _SYSSCALE_MEMO.get(key)
     if memoized is None or memoized[0] is not platform:
         if operating_points == "default":
-            points = build_default_operating_points(platform)
+            if platform.dram.technology.value == "ddr4":
+                points = build_ddr4_operating_points()
+            else:
+                points = build_default_operating_points(platform)
         elif operating_points == "ddr4":
             points = build_ddr4_operating_points()
         else:
@@ -313,50 +312,14 @@ class PolicySpec:
 # Platform and engine specifications
 # ---------------------------------------------------------------------------
 
-DRAM_BUILDERS: Dict[str, Callable[[], Any]] = {
-    "lpddr3": lambda: None,  # build_platform's default device
-    "ddr4": ddr4_device,
-}
-
-
-@dataclass(frozen=True)
-class PlatformSpec:
-    """The knobs ``build_platform`` exposes, as a hashable value object."""
-
-    tdp: float = config.SKYLAKE_DEFAULT_TDP
-    dram: str = "lpddr3"
-    platform_fixed_power: float = config.PLATFORM_FIXED_POWER
-
-    def __post_init__(self) -> None:
-        if self.tdp <= 0:
-            raise ValueError("TDP must be positive")
-        if self.dram not in DRAM_BUILDERS:
-            raise KeyError(
-                f"unknown DRAM device {self.dram!r}; known: {sorted(DRAM_BUILDERS)}"
-            )
-
-    def build(self) -> Platform:
-        """Assemble a fresh platform (never shared across processes)."""
-        return build_platform(
-            tdp=self.tdp,
-            dram=DRAM_BUILDERS[self.dram](),
-            platform_fixed_power=self.platform_fixed_power,
-        )
-
-    @property
-    def label(self) -> str:
-        return f"{self.dram}@{self.tdp:g}W"
-
-    def to_dict(self) -> Dict[str, Any]:
-        return {
-            "tdp": self.tdp,
-            "dram": self.dram,
-            "platform_fixed_power": self.platform_fixed_power,
-        }
-
-    @classmethod
-    def from_dict(cls, data: Dict[str, Any]) -> "PlatformSpec":
-        return cls(**data)
+#: The platform dimension of a job IS the full hardware description: jobs hash
+#: (and cache, and parallelize) over every field of the
+#: :class:`~repro.hw.spec.HardwareSpec`, so arbitrary hardware variants behave
+#: like any other job dimension.  The historical three-knob constructor
+#: (``PlatformSpec(tdp=..., dram="lpddr3", platform_fixed_power=...)``) still
+#: works: the remaining fields default to the Skylake description those knobs
+#: used to imply, and ``from_dict`` accepts the legacy compact payload.
+PlatformSpec = HardwareSpec
 
 
 #: Process-local platform memo.  Within one worker, jobs sharing a platform

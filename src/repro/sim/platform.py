@@ -6,8 +6,11 @@ compute and memory power models, the memory-controller and phase-performance
 models, the performance-counter unit, the MRC SRAM and live register file, and the
 power budget manager configured for the platform's TDP.
 
-``build_platform()`` is the single entry point the examples, experiments, and tests
-use; it computes the worst-case IO+memory reservation the *baseline* PBM makes
+``build_platform()`` is the convenience entry point the examples, experiments, and
+tests use; without an explicit SoC it is spec-driven (a derived
+``repro.hw.HardwareSpec`` materialized by ``repro.hw.build``), and
+``assemble_platform()`` layers the models onto any SoC description.  Assembly
+computes the worst-case IO+memory reservation the *baseline* PBM makes
 (Observation 1) directly from the power model so the reservation and the model can
 never drift apart.
 """
@@ -29,7 +32,7 @@ from repro.perf.model import PhasePerformanceModel
 from repro.power.budget import PowerBudgetManager
 from repro.power.models import ActivityVector, ComputePowerModel, SoCPowerModel
 from repro.soc.domains import SoCState
-from repro.soc.skylake import SkylakeSoC, build_skylake_soc
+from repro.soc.skylake import SkylakeSoC
 
 
 @dataclass
@@ -160,6 +163,13 @@ def build_platform(
 ) -> Platform:
     """Assemble a complete evaluation platform.
 
+    Without an explicit ``soc`` this is now a spec-driven constructor: the
+    knobs are folded into a derived :class:`~repro.hw.spec.HardwareSpec` and
+    materialized through :mod:`repro.hw.build`, so the result is the exact
+    platform ``HardwareSpec.build()`` would produce for the same description.
+    The explicit-``soc`` path assembles models around the given description
+    (hand-built SoCs, modified components) as before.
+
     Parameters
     ----------
     tdp:
@@ -172,10 +182,43 @@ def build_platform(
         Package power outside the three domains.
     """
     if soc is None:
-        soc = build_skylake_soc(tdp=tdp, dram=dram)
-    elif dram is not None:
-        soc.dram = dram
+        # Deferred import: repro.hw.build imports this module for the
+        # Platform class and assemble_platform.
+        from repro.hw.build import build_platform_from_spec
+        from repro.hw.registry import SKYLAKE
 
+        spec = SKYLAKE.derive(tdp=tdp, platform_fixed_power=platform_fixed_power)
+        if dram is not None:
+            spec = spec.derive(dram=dram)
+        return build_platform_from_spec(spec)
+    if dram is not None:
+        soc.dram = dram
+    return assemble_platform(soc, platform_fixed_power=platform_fixed_power)
+
+
+def assemble_platform(
+    soc: SkylakeSoC,
+    platform_fixed_power: float = config.PLATFORM_FIXED_POWER,
+    *,
+    mc_power_high: float = config.V_SA_MC_POWER_HIGH,
+    interconnect_power_high: float = config.V_SA_INTERCONNECT_POWER_HIGH,
+    io_engines_power_high: float = config.V_SA_IO_ENGINES_POWER_HIGH,
+    ddrio_digital_power_high: float = config.DDRIO_DIGITAL_POWER_HIGH,
+    dram_background_power_high: float = config.DRAM_BACKGROUND_POWER_HIGH,
+    dram_background_frequency_fraction: float = (
+        config.DRAM_BACKGROUND_FREQUENCY_SCALED_FRACTION
+    ),
+    dram_operation_energy_per_byte: float = config.DRAM_OPERATION_ENERGY_PER_BYTE,
+    dram_self_refresh_power: float = config.DRAM_SELF_REFRESH_POWER,
+) -> Platform:
+    """Layer the power/performance/counter models onto an SoC description.
+
+    The keyword coefficients parameterize the memory/IO power model; their
+    defaults are the ``repro.config`` calibration constants, so assembling with
+    no overrides reproduces the seed platform exactly.  ``repro.hw.build``
+    passes a :class:`~repro.hw.spec.HardwareSpec`'s coefficients here, which is
+    what makes the memory model part of the declarative hardware description.
+    """
     compute_power = ComputePowerModel(
         cpu=soc.cpu,
         gfx=soc.gfx,
@@ -183,11 +226,22 @@ def build_platform(
         cpu_curve=soc.cpu_curve,
         gfx_curve=soc.gfx_curve,
     )
-    ddrio = DdrioModel(reference_frequency=soc.dram.max_frequency)
+    ddrio = DdrioModel(
+        digital_power_high=ddrio_digital_power_high,
+        reference_frequency=soc.dram.max_frequency,
+    )
     memory_power = MemoryPowerModel(
         device=soc.dram,
         ddrio=ddrio,
+        mc_power_high=mc_power_high,
+        interconnect_power_high=interconnect_power_high,
+        io_engines_power_high=io_engines_power_high,
+        background_power_high=dram_background_power_high,
+        background_frequency_fraction=dram_background_frequency_fraction,
+        operation_energy_per_byte=dram_operation_energy_per_byte,
+        self_refresh_power=dram_self_refresh_power,
         reference_frequency=soc.dram.max_frequency,
+        reference_interconnect_frequency=soc.io_interconnect.high_frequency,
     )
     controller = MemoryControllerModel(device=soc.dram)
     latency_model = MemoryLatencyModel(

@@ -213,6 +213,12 @@ def build_skylake_soc(
 ) -> SkylakeSoC:
     """Construct the Skylake M-6Y75 evaluation platform of Table 2.
 
+    Spec-driven: the knobs derive the registered ``skylake``
+    :class:`~repro.hw.spec.HardwareSpec` and the SoC is materialized from the
+    description, so this builder and ``repro.hw`` can never drift apart.  (The
+    raw ``SkylakeSoC()`` dataclass defaults remain the independent ground
+    truth the regression tests compare the spec path against.)
+
     Parameters
     ----------
     tdp:
@@ -221,7 +227,11 @@ def build_skylake_soc(
     dram:
         DRAM device to attach (defaults to dual-channel LPDDR3-1600, 8 GB).
     """
-    soc = SkylakeSoC(tdp=tdp)
+    # Deferred import: repro.hw.build imports this module for SkylakeSoC.
+    from repro.hw.build import soc_from_spec
+    from repro.hw.registry import SKYLAKE
+
+    spec = SKYLAKE.derive(tdp=tdp)
     if dram is not None:
-        soc.dram = dram
-    return soc
+        spec = spec.derive(dram=dram)
+    return soc_from_spec(spec)

@@ -184,28 +184,32 @@ def build_default_rails(
     vddq_nominal: float = 1.2,
     v_core_nominal: float = 1.0,
     v_gfx_nominal: float = 1.0,
+    v_sa_min_scale: float = config.V_SA_LOW_SCALE,
+    v_io_min_scale: float = config.V_IO_LOW_SCALE,
 ) -> RailSet:
     """Construct the five-rail structure of Fig. 1 with typical mobile voltages.
 
     ``VDDQ`` is marked non-scalable per Sec. 2.4.  Minimum voltages reflect the
     observation (Sec. 7.4) that V_SA reaches its minimum functional voltage at the
-    1.06 GHz DRAM operating point (i.e. at a 0.8x scale of nominal).  The nominal
-    V_SA / V_IO levels are chosen so that a SysScale transition swings each rail by
-    roughly 100 mV, the figure Sec. 5 uses for its 2 us slew-time budget.
+    1.06 GHz DRAM operating point (i.e. at a 0.8x scale of nominal); hardware
+    variants may override the scales through ``v_sa_min_scale``/``v_io_min_scale``.
+    The nominal V_SA / V_IO levels are chosen so that a SysScale transition swings
+    each rail by roughly 100 mV, the figure Sec. 5 uses for its 2 us slew-time
+    budget.
     """
     rails = RailSet()
     rails.add(
         VoltageRegulator(
             rail=RailName.V_SA,
             nominal_voltage=v_sa_nominal,
-            min_voltage=v_sa_nominal * config.V_SA_LOW_SCALE,
+            min_voltage=v_sa_nominal * v_sa_min_scale,
         )
     )
     rails.add(
         VoltageRegulator(
             rail=RailName.V_IO,
             nominal_voltage=v_io_nominal,
-            min_voltage=v_io_nominal * config.V_IO_LOW_SCALE,
+            min_voltage=v_io_nominal * v_io_min_scale,
         )
     )
     rails.add(

@@ -41,7 +41,7 @@ NON_EXPERIMENT_MODULES = {"runner", "report", "api"}
 
 ALL_TARGETS = (
     "table1", "table2", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
-    "fig8", "fig9", "fig10", "sensitivity", "robustness",
+    "fig8", "fig9", "fig10", "sensitivity", "robustness", "hwsweep",
 )
 
 
