@@ -189,6 +189,22 @@ class Session:
         """The runtime accounting line (submitted / unique / simulated / hits)."""
         return self.runtime.summary()
 
+    def close(self) -> None:
+        """Shut down the session's worker pool (if any).
+
+        Parallel sessions keep one warm process pool alive across every
+        ``run``/``simulate`` call; ``close`` releases it deterministically.
+        The session remains usable -- the next parallel batch simply starts a
+        fresh pool.
+        """
+        self.runtime.close()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     def __repr__(self) -> str:  # pragma: no cover - debugging nicety
         cache = self.runtime.cache.root if self.runtime.cache else "disabled"
         return f"Session(runtime={self.runtime.summary()!r}, cache={cache!r})"

@@ -85,6 +85,16 @@ class ExperimentRuntime:
             f"{self.executed} simulated, {self.cache_hits} cache hit(s)"
         )
 
+    def close(self) -> None:
+        """Release the executor's resources (the parallel worker pool).
+
+        One runtime serves every experiment of a session, so its
+        :class:`~repro.runtime.executor.ParallelExecutor` keeps a single warm
+        process pool alive across submissions; call this when the session is
+        done (the CLI does, after its last target).
+        """
+        self.executor.close()
+
     def accounting(self) -> RunInfo:
         """A snapshot of the running totals (see :meth:`RunInfo.since`)."""
         return RunInfo(

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, Iterable, Mapping, Optional
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
 
 from repro import config
 from repro.memory.mrc import MrcRegisterFile
@@ -82,6 +82,28 @@ class CounterSample:
             for name in CounterName
         }
         return CounterSample(values=averaged, interval=samples[0].interval)
+
+    @staticmethod
+    def from_sums(
+        names: Sequence[CounterName],
+        sums: Tuple[float, ...],
+        count: int,
+        interval: float,
+    ) -> "CounterSample":
+        """Average from per-counter running sums over ``count`` samples.
+
+        The segment-stepping engine accumulates one running sum per counter
+        instead of a per-interval ``List[CounterSample]``; because the sums
+        perform the same ordered additions :meth:`average` would (``sum`` of a
+        sample list is a left fold starting at zero), ``from_sums`` is
+        bit-identical to averaging the materialized samples.
+        """
+        if count <= 0:
+            raise ValueError("cannot average zero samples")
+        return CounterSample(
+            values={name: total / count for name, total in zip(names, sums)},
+            interval=interval,
+        )
 
 
 @dataclass

@@ -1,0 +1,294 @@
+"""The ``python -m repro bench`` performance harness.
+
+Measures the hot paths the runtime's throughput rests on and emits one
+machine-readable JSON document (``BENCH_5.json`` by default) so every PR has a
+perf trajectory to compare against:
+
+* **engine** -- the cold single-job engine benchmark: one battery-life trace
+  (the paper's Sec. 7.3 shape, the motivating 120 s case) under SysScale, run
+  once with the seed per-tick reference loop
+  (``SimulationConfig(reference_loop=True)``) and once with the default
+  segment-stepping loop, in the same process in the same invocation.  Reports
+  ticks/second for both and the speedup; **fails unless the two results are
+  bit-identical**.
+* **engine_markov** -- the same comparison on a Markov scenario walk, the
+  memo-friendly shape (recurring phases share one model evaluation).
+* **jobs_serial** -- a scenario-catalog job batch through ``SerialExecutor``
+  against a fresh temporary result cache (cold) and again against the now-warm
+  cache; reports jobs/second for both and **fails unless the warm payloads are
+  bit-identical to the cold ones** (and the warm pass simulated nothing).
+* **jobs_parallel** -- the same batch through a ``ParallelExecutor`` worker
+  pool into its own fresh cache; **fails unless the parallel payloads are
+  bit-identical to the serial ones**.
+
+Every check doubles as a regression gate: the CLI exits non-zero when any
+fails, which is what the CI ``repro bench --quick`` step relies on.
+"""
+
+from __future__ import annotations
+
+import json
+import platform as platform_module
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.runtime.cache import ResultCache
+from repro.runtime.executor import Executor, ParallelExecutor, SerialExecutor
+from repro.sim.engine import SimulationConfig, SimulationEngine
+from repro.sim.platform import Platform
+
+#: Bench document schema version (bump on incompatible layout changes).
+BENCH_SCHEMA_VERSION = 1
+
+#: The PR series number this harness writes by default; the driver and CI look
+#: for ``BENCH_<n>.json`` so successive PRs leave a comparable trajectory.
+BENCH_SERIES = 5
+
+DEFAULT_BENCH_PATH = f"BENCH_{BENCH_SERIES}.json"
+
+#: The speedup the segment-stepping engine must sustain over the reference
+#: loop on the cold single-job benchmark (the PR's acceptance floor).
+MIN_ENGINE_SPEEDUP = 5.0
+
+
+def _time(function: Callable[[], Any], repeats: int = 1) -> Tuple[float, Any]:
+    """Best-of-``repeats`` wall time of ``function`` plus its last result."""
+    best = float("inf")
+    result = None
+    for _ in range(max(1, repeats)):
+        started = time.perf_counter()
+        result = function()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def _engine_case(
+    name: str,
+    platform: Platform,
+    trace,
+    policy_factory: Callable[[], Any],
+    max_time: float,
+    repeats: int,
+    checks: Dict[str, bool],
+) -> Dict[str, Any]:
+    """Fast-vs-reference comparison of one single-job engine run."""
+    fast_engine = SimulationEngine(
+        platform, SimulationConfig(max_simulated_time=max_time)
+    )
+    reference_engine = SimulationEngine(
+        platform, SimulationConfig(max_simulated_time=max_time, reference_loop=True)
+    )
+    # One untimed fast run first warms the platform-level caches both loops
+    # share, so the reference loop is not charged for them.
+    fast_engine.run(trace, policy_factory())
+
+    reference_seconds, reference_result = _time(
+        lambda: reference_engine.run(trace, policy_factory())
+    )
+    fast_seconds, fast_result = _time(
+        lambda: fast_engine.run(trace, policy_factory()), repeats=repeats
+    )
+    stats = fast_engine.last_run_stats
+    parity = fast_result.to_dict() == reference_result.to_dict()
+    checks[f"{name}_fast_reference_parity"] = parity
+
+    ticks = stats.ticks
+    return {
+        "workload": trace.name,
+        "policy": fast_result.policy,
+        "simulated_seconds": fast_result.execution_time,
+        "ticks": ticks,
+        "reference_seconds": reference_seconds,
+        "fast_seconds": fast_seconds,
+        "speedup": reference_seconds / fast_seconds if fast_seconds > 0 else 0.0,
+        "reference_ticks_per_second": ticks / reference_seconds if reference_seconds else 0.0,
+        "fast_ticks_per_second": ticks / fast_seconds if fast_seconds else 0.0,
+        "segments": stats.segments,
+        "model_evaluations": stats.model_evaluations,
+        "memo_hits": stats.memo_hits,
+        "ticks_per_model_evaluation": stats.ticks_per_evaluation,
+        "bit_identical": parity,
+    }
+
+
+def _run_batch(
+    executor: Executor, jobs, cache: ResultCache
+) -> Tuple[float, Any]:
+    started = time.perf_counter()
+    report = executor.run(jobs, cache=cache)
+    return time.perf_counter() - started, report
+
+
+def _jobs_cases(
+    quick: bool, workers: int, max_time: float, checks: Dict[str, bool]
+) -> Dict[str, Dict[str, Any]]:
+    """Cold/warm serial and parallel throughput over a scenario job batch."""
+    # Deferred import: the campaign module pulls in the scenario registry.
+    from repro.runtime.campaign import scenario_campaign
+    from repro.runtime.jobs import SimSpec
+
+    campaign = scenario_campaign(quick=quick).with_sim(
+        SimSpec(max_simulated_time=max_time)
+    )
+    jobs = list(campaign.jobs)
+    results: Dict[str, Dict[str, Any]] = {}
+
+    scratch = Path(tempfile.mkdtemp(prefix="repro-bench-"))
+    try:
+        serial_cache = ResultCache(scratch / "serial")
+        cold_seconds, cold = _run_batch(SerialExecutor(), jobs, serial_cache)
+        warm_seconds, warm = _run_batch(SerialExecutor(), jobs, serial_cache)
+        warm_identical = warm.payloads() == cold.payloads()
+        checks["warm_cache_bit_identity"] = warm_identical
+        checks["warm_cache_simulates_nothing"] = warm.executed == 0
+        results["jobs_serial"] = {
+            "jobs": len(jobs),
+            "cold_seconds": cold_seconds,
+            "warm_seconds": warm_seconds,
+            "cold_jobs_per_second": len(jobs) / cold_seconds if cold_seconds else 0.0,
+            "warm_jobs_per_second": len(jobs) / warm_seconds if warm_seconds else 0.0,
+            "warm_cache_hits": warm.cache_hits,
+            "warm_executed": warm.executed,
+            "bit_identical": warm_identical,
+        }
+
+        parallel_cache = ResultCache(scratch / "parallel")
+        with ParallelExecutor(max_workers=workers) as pool:
+            parallel_seconds, parallel = _run_batch(pool, jobs, parallel_cache)
+            # A second batch through the *same* pool exercises pool reuse.
+            reuse_seconds, _ = _run_batch(pool, jobs, ResultCache(scratch / "reuse"))
+        parallel_identical = parallel.payloads() == cold.payloads()
+        checks["serial_parallel_bit_identity"] = parallel_identical
+        results["jobs_parallel"] = {
+            "jobs": len(jobs),
+            "workers": workers,
+            "cold_seconds": parallel_seconds,
+            "cold_jobs_per_second": (
+                len(jobs) / parallel_seconds if parallel_seconds else 0.0
+            ),
+            "pool_reuse_seconds": reuse_seconds,
+            "pool_reuse_jobs_per_second": (
+                len(jobs) / reuse_seconds if reuse_seconds else 0.0
+            ),
+            "bit_identical": parallel_identical,
+        }
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+    return results
+
+
+def run_bench(
+    quick: bool = False,
+    workers: int = 2,
+    repeats: Optional[int] = None,
+) -> Dict[str, Any]:
+    """Run every benchmark and return the (JSON-serializable) document."""
+    from repro.runtime.jobs import _build_sysscale
+    from repro.scenarios.registry import SCENARIOS
+    from repro.sim.platform import build_platform
+    from repro.workloads.batterylife import battery_life_workload
+
+    if repeats is None:
+        repeats = 2 if quick else 3
+    checks: Dict[str, bool] = {}
+    soc = build_platform()
+
+    battery_trace = battery_life_workload(
+        "video_playback", cycles=2 if quick else 20
+    )
+    markov_trace = SCENARIOS["markov-mobile-day"].build()
+
+    results: Dict[str, Any] = {}
+    results["engine"] = _engine_case(
+        "engine",
+        soc,
+        battery_trace,
+        lambda: _build_sysscale(soc),
+        max_time=battery_trace.total_duration + 1.0,
+        repeats=repeats,
+        checks=checks,
+    )
+    checks["engine_speedup_at_least_5x"] = (
+        results["engine"]["speedup"] >= MIN_ENGINE_SPEEDUP
+    )
+    results["engine_markov"] = _engine_case(
+        "engine_markov",
+        soc,
+        markov_trace,
+        lambda: _build_sysscale(soc),
+        max_time=markov_trace.total_duration + 1.0,
+        repeats=repeats,
+        checks=checks,
+    )
+    results.update(
+        _jobs_cases(
+            quick=quick,
+            workers=workers,
+            max_time=0.1 if quick else 0.5,
+            checks=checks,
+        )
+    )
+
+    return {
+        "schema": BENCH_SCHEMA_VERSION,
+        "bench": BENCH_SERIES,
+        "quick": quick,
+        "created_unix": time.time(),
+        "python": sys.version.split()[0],
+        "machine": platform_module.machine(),
+        "results": results,
+        "checks": checks,
+        "ok": all(checks.values()),
+    }
+
+
+def main(args) -> int:
+    """CLI entry point (wired up by ``repro.runtime.cli``)."""
+    if args.jobs < 1:
+        print(f"--jobs must be at least 1, got {args.jobs}", file=sys.stderr)
+        return 2
+    info = sys.stderr if args.json else sys.stdout
+    print(
+        f"bench: {'quick' if args.quick else 'full'} suite, "
+        f"{args.jobs} worker(s)",
+        file=info,
+    )
+    document = run_bench(quick=args.quick, workers=args.jobs)
+
+    for name, metrics in document["results"].items():
+        line = f"  {name:14s}"
+        if "speedup" in metrics:
+            line += (
+                f" {metrics['ticks']:>7d} ticks  "
+                f"fast {metrics['fast_ticks_per_second']:,.0f} ticks/s  "
+                f"reference {metrics['reference_ticks_per_second']:,.0f} ticks/s  "
+                f"speedup {metrics['speedup']:.1f}x"
+            )
+        else:
+            line += (
+                f" {metrics['jobs']:>4d} jobs  "
+                f"cold {metrics['cold_jobs_per_second']:.1f} jobs/s"
+            )
+            if "warm_jobs_per_second" in metrics:
+                line += f"  warm {metrics['warm_jobs_per_second']:.1f} jobs/s"
+        print(line, file=info)
+    failed = sorted(name for name, ok in document["checks"].items() if not ok)
+    if failed:
+        print(f"bench: FAILED check(s): {', '.join(failed)}", file=sys.stderr)
+    else:
+        print("bench: all checks passed", file=info)
+
+    if args.json:
+        print(json.dumps(document, indent=2))
+    out_arg = args.out if args.out is not None else DEFAULT_BENCH_PATH
+    if out_arg != "-":
+        out = Path(out_arg)
+        if str(out.parent) not in ("", "."):
+            out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+        print(f"wrote {out}", file=info)
+    return 0 if document["ok"] else 1

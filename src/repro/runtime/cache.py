@@ -10,13 +10,21 @@ Writes are atomic (write to a temp file in the same directory, then
 ``os.replace``) so a killed run never leaves a truncated entry behind, and
 concurrent runs sharing a cache directory at worst do redundant work -- they
 can never corrupt each other's entries.
+
+A bounded in-memory memo sits in front of the disk store: warm sweeps that
+resolve the same job hash repeatedly (campaign rebasing, ``hwsweep`` and
+``robustness`` sharing jobs across experiments in one session) hit the memo
+instead of re-reading and re-parsing the same JSON file.  Memo hits are
+reported separately in :class:`CacheStats` (they still count as hits).
 """
 
 from __future__ import annotations
 
+import copy
 import json
 import os
 import tempfile
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Iterator, Optional
@@ -29,6 +37,11 @@ CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 #: Default cache directory (relative to the working directory).
 DEFAULT_CACHE_DIR = ".repro-cache"
 
+#: Default bound on the in-memory hit memo (entries, not bytes); a result
+#: payload is a few KB, so the default working set stays small while covering
+#: every real campaign's repeat-lookup pattern.
+DEFAULT_MEMO_ENTRIES = 1024
+
 
 def default_cache_dir() -> Path:
     """The cache directory the CLI and examples use by default."""
@@ -37,25 +50,44 @@ def default_cache_dir() -> Path:
 
 @dataclass
 class CacheStats:
-    """Hit/miss/write counters for one cache instance."""
+    """Hit/miss/write counters for one cache instance.
+
+    ``memo_hits`` counts the subset of ``hits`` served from the in-memory memo
+    without touching the on-disk entry.
+    """
 
     hits: int = 0
     misses: int = 0
     writes: int = 0
+    memo_hits: int = 0
 
     def as_dict(self) -> Dict[str, int]:
-        return {"hits": self.hits, "misses": self.misses, "writes": self.writes}
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "memo_hits": self.memo_hits,
+        }
 
 
 @dataclass
 class ResultCache:
-    """Content-addressed job-result store rooted at ``root``."""
+    """Content-addressed job-result store rooted at ``root``.
+
+    ``memo_entries`` bounds the in-memory hit memo (0 disables it).
+    """
 
     root: Path
     stats: CacheStats = field(default_factory=CacheStats)
+    memo_entries: int = DEFAULT_MEMO_ENTRIES
+    _memo: "OrderedDict[str, Dict[str, Any]]" = field(
+        default_factory=OrderedDict, repr=False
+    )
 
     def __post_init__(self) -> None:
         self.root = Path(self.root)
+        if self.memo_entries < 0:
+            raise ValueError("memo_entries must be non-negative")
 
     # ------------------------------------------------------------------
     # Paths
@@ -74,8 +106,19 @@ class ResultCache:
 
         Entries written under a different schema version, or unreadable files,
         count as misses (the entry will simply be recomputed and rewritten).
+        Repeat lookups of the same hash are served from the in-memory memo
+        without re-reading the file.
         """
-        path = self.path_for(job.content_hash)
+        job_hash = job.content_hash
+        memoized = self._memo.get(job_hash)
+        if memoized is not None:
+            self._memo.move_to_end(job_hash)
+            self.stats.hits += 1
+            self.stats.memo_hits += 1
+            # Serve a copy: a disk read always returned a fresh dict, so a
+            # caller mutating its payload must never poison later hits.
+            return copy.deepcopy(memoized)
+        path = self.path_for(job_hash)
         try:
             with path.open("r", encoding="utf-8") as handle:
                 entry = json.load(handle)
@@ -88,7 +131,18 @@ class ResultCache:
             self.stats.misses += 1
             return None
         self.stats.hits += 1
+        self._memoize(job_hash, entry["result"])
         return entry["result"]
+
+    def _memoize(self, job_hash: str, payload: Dict[str, Any]) -> None:
+        if self.memo_entries <= 0:
+            return
+        # Detach from the caller's dict for the same no-aliasing reason get()
+        # serves copies.
+        self._memo[job_hash] = copy.deepcopy(payload)
+        self._memo.move_to_end(job_hash)
+        while len(self._memo) > self.memo_entries:
+            self._memo.popitem(last=False)
 
     def put(self, job: Job, payload: Dict[str, Any]) -> Path:
         """Store ``payload`` for ``job`` atomically; returns the entry path."""
@@ -115,6 +169,7 @@ class ResultCache:
                 pass
             raise
         self.stats.writes += 1
+        self._memoize(job_hash, payload)
         return path
 
     def contains(self, job: Job) -> bool:
@@ -140,9 +195,10 @@ class ResultCache:
         return sum(path.stat().st_size for path in self.iter_entries())
 
     def clear(self) -> int:
-        """Delete every entry; returns the number of entries removed."""
+        """Delete every entry (and the in-memory memo); returns entries removed."""
         removed = 0
         for path in list(self.iter_entries()):
             path.unlink()
             removed += 1
+        self._memo.clear()
         return removed

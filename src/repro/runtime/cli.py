@@ -1,6 +1,6 @@
 """The ``python -m repro`` command line.
 
-Five subcommands:
+Six subcommands:
 
 * ``list`` -- every runnable target (the registered experiments plus the named
   sweep campaigns) and every registered building block: trace builders,
@@ -19,7 +19,10 @@ Five subcommands:
 * ``scenarios`` -- the synthesized-workload catalog: ``list`` it, ``describe``
   one spec, or ``sweep`` scenarios x policies through the runtime (also
   accepts ``--platform``/``--set``);
-* ``cache`` -- inspect or clear the result store.
+* ``cache`` -- inspect or clear the result store;
+* ``bench`` -- the performance harness: engine ticks/sec (segment-stepping vs.
+  the seed reference loop, with a bit-identity gate), runtime jobs/sec (cold
+  vs. warm cache, serial vs. parallel), written to ``BENCH_5.json``.
 
 The experiment dispatch, per-target help text, and ignored-flag warnings are
 all generated from the :mod:`repro.experiments.api` registry -- there is no
@@ -405,20 +408,24 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
     reports: List[tuple] = []
     written: Dict[str, int] = {}
-    for target in args.targets:
-        print(f"== {target} ==", file=info)
-        started = time.perf_counter()
-        if target in specs:
-            report = _run_experiment(specs[target], context, args, params)
-        else:
-            report = _run_campaign(target, runtime, args, sim_config, hardware)
-        elapsed = time.perf_counter() - started
-        reports.append((target, report))
-        if args.out is not None:
-            _write_report_file(target, report, args, written)
-        elif not exporting:
-            print(render_text(report))
-        print(f"  elapsed: {elapsed:.2f}s", file=info)
+    try:
+        for target in args.targets:
+            print(f"== {target} ==", file=info)
+            started = time.perf_counter()
+            if target in specs:
+                report = _run_experiment(specs[target], context, args, params)
+            else:
+                report = _run_campaign(target, runtime, args, sim_config, hardware)
+            elapsed = time.perf_counter() - started
+            reports.append((target, report))
+            if args.out is not None:
+                _write_report_file(target, report, args, written)
+            elif not exporting:
+                print(render_text(report))
+            print(f"  elapsed: {elapsed:.2f}s", file=info)
+    finally:
+        # One pool serves every target; release its workers deterministically.
+        runtime.close()
 
     if exporting and args.out is None:
         _write_stdout_exports(reports, args)
@@ -592,7 +599,10 @@ def _cmd_scenarios_sweep(args: argparse.Namespace) -> int:
         campaign = campaign.with_sim(SimSpec(max_simulated_time=args.max_time))
 
     started = time.perf_counter()
-    report = runtime.run_jobs(campaign.jobs)
+    try:
+        report = runtime.run_jobs(campaign.jobs)
+    finally:
+        runtime.close()
     elapsed = time.perf_counter() - started
 
     # Regroup the flat outcome list scenario by scenario; the grid builder
@@ -655,6 +665,14 @@ def _cmd_scenarios_sweep(args: argparse.Namespace) -> int:
     if runtime.cache is not None:
         print(f"cache: {runtime.cache.root} ({len(runtime.cache)} entries)", file=info)
     return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    # Deferred import: the harness pulls in the scenario catalog and platform
+    # builders, which nothing else on the CLI's import path needs.
+    from repro.runtime.bench import main as bench_main
+
+    return bench_main(args)
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
@@ -854,6 +872,38 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="print sweep rows as JSON"
     )
     scen_sweep.set_defaults(handler=_cmd_scenarios_sweep)
+
+    bench_parser = subparsers.add_parser(
+        "bench",
+        help="run the performance harness and write BENCH_5.json",
+        description=(
+            "Measure engine ticks/sec (segment-stepping vs. the seed "
+            "reference loop) and runtime jobs/sec (cold vs. warm cache, "
+            "serial vs. parallel), gate on bit-identity, and write one "
+            "machine-readable JSON document."
+        ),
+    )
+    bench_parser.add_argument(
+        "--quick", action="store_true",
+        help="reduced tick counts and job batch (the CI smoke configuration)",
+    )
+    bench_parser.add_argument(
+        "--jobs", "-j", type=int, default=2, metavar="N",
+        help="worker processes for the parallel benchmark (default 2)",
+    )
+    bench_parser.add_argument(
+        "--out", default=None, metavar="PATH",
+        help=(
+            "write the bench document to PATH "
+            "(default BENCH_5.json in the working directory; "
+            "'-' skips the file)"
+        ),
+    )
+    bench_parser.add_argument(
+        "--json", action="store_true",
+        help="print the bench document as JSON on stdout",
+    )
+    bench_parser.set_defaults(handler=_cmd_bench)
 
     cache_parser = subparsers.add_parser("cache", help="inspect or clear the cache")
     cache_parser.add_argument(

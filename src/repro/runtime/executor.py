@@ -12,6 +12,14 @@ Worker processes rebuild their own platforms from the job specs (see
 register state while running, so a platform object must never be shared by two
 concurrent runs.  Serial and parallel execution funnel through the same
 ``execute_job`` function, which is what makes their results bit-identical.
+
+The pool is created lazily on the first batch that needs it and then **kept
+alive across** ``run()`` **calls**: a session that submits one experiment after
+another (the CLI running several targets, ``repro.api.Session``) reuses one
+warm pool -- with its worker-local platform/calibration memos -- instead of
+forking and tearing down a fresh pool per experiment.  Call :meth:`close` (or
+use the executor as a context manager) for a deterministic shutdown; a GC
+finalizer shuts the pool down as a fallback.
 """
 
 from __future__ import annotations
@@ -19,8 +27,10 @@ from __future__ import annotations
 import multiprocessing
 import os
 import time
+import weakref
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
@@ -176,6 +186,9 @@ class Executor:
     ) -> None:
         raise NotImplementedError
 
+    def close(self) -> None:
+        """Release executor resources (a no-op for in-process executors)."""
+
 
 @dataclass
 class SerialExecutor(Executor):
@@ -200,16 +213,19 @@ def _worker_count(requested: Optional[int]) -> int:
 
 @dataclass
 class ParallelExecutor(Executor):
-    """Fan jobs out over a process pool, one platform per worker process.
+    """Fan jobs out over a persistent process pool, one platform per worker.
 
     ``max_workers=None`` uses every available core.  ``max_pending`` bounds the
     number of futures in flight so campaigns with tens of thousands of jobs do
-    not hold every argument pickled in memory at once.
+    not hold every argument pickled in memory at once.  The pool is created on
+    first use and reused by every subsequent ``run()`` until :meth:`close`.
     """
 
     max_workers: Optional[int] = None
     max_pending: int = 1024
     _mp_context: Any = field(init=False, repr=False, default=None)
+    _pool: Any = field(init=False, repr=False, default=None)
+    _finalizer: Any = field(init=False, repr=False, default=None)
 
     def __post_init__(self) -> None:
         self.max_workers = _worker_count(self.max_workers)
@@ -222,22 +238,50 @@ class ParallelExecutor(Executor):
         except ValueError:  # pragma: no cover - non-POSIX platforms
             self._mp_context = multiprocessing.get_context()
 
+    # ------------------------------------------------------------------
+    # Pool lifecycle
+    # ------------------------------------------------------------------
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.max_workers, mp_context=self._mp_context
+            )
+            # GC fallback: shut the workers down if the owner forgets close().
+            self._finalizer = weakref.finalize(
+                self, ProcessPoolExecutor.shutdown, self._pool, wait=False
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the worker pool down; the next ``run()`` starts a fresh one."""
+        if self._pool is not None:
+            if self._finalizer is not None:
+                self._finalizer.detach()
+                self._finalizer = None
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ParallelExecutor":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
     def _execute_many(
         self,
         jobs: List[Job],
         on_executed: Callable[[Job, Dict[str, Any]], None],
     ) -> None:
-        if len(jobs) == 1 or self.max_workers == 1:
-            # A pool would only add fork/teardown overhead.
+        if self.max_workers == 1 or (len(jobs) == 1 and self._pool is None):
+            # A pool would only add fork/teardown overhead; once a warm pool
+            # exists, even single-job batches go through it.
             for job in jobs:
                 on_executed(job, execute_job(job))
             return
-        workers = min(self.max_workers, len(jobs))
-        with ProcessPoolExecutor(
-            max_workers=workers, mp_context=self._mp_context
-        ) as pool:
-            queue = deque(jobs)
-            in_flight = {}
+        pool = self._ensure_pool()
+        queue = deque(jobs)
+        in_flight = {}
+        try:
             while queue or in_flight:
                 while queue and len(in_flight) < self.max_pending:
                     job = queue.popleft()
@@ -246,6 +290,16 @@ class ParallelExecutor(Executor):
                 for future in done:
                     job = in_flight.pop(future)
                     on_executed(job, future.result())
+        except BrokenProcessPool:
+            # A dead worker poisons the whole pool; drop it so the next
+            # run() starts fresh instead of failing instantly forever.
+            self.close()
+            raise
+        except BaseException:
+            # Don't leave abandoned work running in the reused pool.
+            for future in in_flight:
+                future.cancel()
+            raise
 
 
 def make_executor(jobs: int = 1) -> Executor:

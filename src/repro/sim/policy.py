@@ -41,19 +41,29 @@ class StaticDemandInfo:
 
 @dataclass(frozen=True)
 class PolicyObservation:
-    """What the PMU sees at the end of one evaluation interval."""
+    """What the PMU sees at the end of one evaluation interval.
+
+    ``counters`` is the interval-averaged sample (Sec. 4.3).  ``samples``
+    records how many 1 ms PMU samples that average covers; the segment-stepping
+    engine accumulates them as running sums rather than materialized samples,
+    so this count is the only remaining trace of the individual ticks.  The
+    default (0) means "unknown" for observations built outside the engine.
+    """
 
     counters: CounterSample
     static_demand: StaticDemandInfo
     time: float
     workload_class: str
     evaluation_interval: float = config.EVALUATION_INTERVAL
+    samples: int = 0
 
     def __post_init__(self) -> None:
         if self.time < 0:
             raise ValueError("time must be non-negative")
         if self.evaluation_interval <= 0:
             raise ValueError("evaluation interval must be positive")
+        if self.samples < 0:
+            raise ValueError("sample count must be non-negative")
 
 
 @dataclass(frozen=True)

@@ -15,6 +15,47 @@ from repro import config
 from repro.power.energy import EnergyMetrics
 
 
+@dataclass(frozen=True)
+class EngineRunStats:
+    """Loop statistics of one ``SimulationEngine.run`` (diagnostics only).
+
+    Exposed as ``SimulationEngine.last_run_stats`` and consumed by the
+    ``repro bench`` harness and the parity/regression tests; deliberately
+    *not* part of :class:`SimulationResult`, so serialized results (and their
+    content-addressed cache entries) are identical no matter which loop
+    produced them.
+
+    ``segments`` counts how many stretches of ticks shared one model
+    evaluation; ``model_evaluations`` counts the evaluations actually
+    performed (``segments - memo_hits`` for the segment loop, one per tick
+    for the reference loop).
+    """
+
+    ticks: int
+    segments: int
+    model_evaluations: int
+    memo_hits: int
+    evaluations: int
+    transitions: int
+
+    @property
+    def ticks_per_evaluation(self) -> float:
+        """Average ticks amortized per model-stack evaluation."""
+        if self.model_evaluations == 0:
+            return float(self.ticks)
+        return self.ticks / self.model_evaluations
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "ticks": self.ticks,
+            "segments": self.segments,
+            "model_evaluations": self.model_evaluations,
+            "memo_hits": self.memo_hits,
+            "evaluations": self.evaluations,
+            "transitions": self.transitions,
+        }
+
+
 @dataclass
 class DomainEnergyBreakdown:
     """Energy (joules) accumulated per domain over a run."""

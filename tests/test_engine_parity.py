@@ -1,0 +1,200 @@
+"""Fast-loop vs. reference-loop bit-identity (the segment-stepping arbiter).
+
+The segment-stepping engine must reproduce the seed per-tick loop *bit for
+bit*: energy breakdown, counters-driven policy decisions, transition counts,
+low-point time, every serialized field.  The strategy that makes this possible
+is replay (the tight loop performs the identical sequence of per-tick float
+additions on identical increments), and these tests are the arbiter the
+engine's docstring points at: every scenario-catalog entry under every policy,
+plus registry hardware variants, plus the classic workload families.
+"""
+
+import pytest
+
+from repro.baselines.fixed import FixedBaselinePolicy
+from repro.baselines.md_dvfs import StaticMdDvfsPolicy
+from repro.hw import get_hardware
+from repro.runtime.jobs import _build_sysscale
+from repro.scenarios.registry import SCENARIOS
+from repro.sim.engine import SimulationConfig, SimulationEngine
+from repro.sim.platform import build_platform
+from repro.workloads.batterylife import battery_life_workload
+from repro.workloads.spec2006 import spec_workload
+
+POLICIES = ("baseline", "sysscale", "md_dvfs")
+
+#: Cap on simulated time per parity run: long enough to cross many phase
+#: boundaries, evaluation intervals, and DVFS transitions, short enough that
+#: the reference loop's per-tick model evaluations stay affordable in CI.
+PARITY_MAX_TIME = 0.35
+
+#: Registry variants for the hardware axis (a Broadwell delta and the DDR4
+#: device, which exercises the other operating-point table and MRC sets).
+HW_VARIANTS = ("broadwell", "skylake-ddr4")
+
+#: Catalog subset for the hardware-variant axis (one per generator family
+#: keeps the reference-loop budget bounded; the full catalog runs on Skylake).
+HW_SCENARIO_SUBSET = (
+    "bursty-heavy",
+    "markov-mobile-day",
+    "interleaved-thrash",
+)
+
+
+def _policy(name, platform):
+    if name == "baseline":
+        return FixedBaselinePolicy()
+    if name == "md_dvfs":
+        return StaticMdDvfsPolicy()
+    return _build_sysscale(platform)
+
+
+def _engines(platform, **overrides):
+    fast = SimulationEngine(
+        platform,
+        SimulationConfig(max_simulated_time=PARITY_MAX_TIME, **overrides),
+    )
+    reference = SimulationEngine(
+        platform,
+        SimulationConfig(
+            max_simulated_time=PARITY_MAX_TIME, reference_loop=True, **overrides
+        ),
+    )
+    return fast, reference
+
+
+def _assert_parity(fast_engine, reference_engine, trace, platform, policy_name):
+    fast = fast_engine.run(trace, _policy(policy_name, platform))
+    fast_stats = fast_engine.last_run_stats
+    reference = reference_engine.run(trace, _policy(policy_name, platform))
+    reference_stats = reference_engine.last_run_stats
+    assert fast.to_dict() == reference.to_dict(), (
+        f"fast/reference mismatch for {trace.name} under {policy_name}"
+    )
+    # The segment loop must walk the same trajectory, not just land on the
+    # same numbers: same ticks, same policy evaluations, same transitions.
+    assert fast_stats.ticks == reference_stats.ticks
+    assert fast_stats.evaluations == reference_stats.evaluations
+    assert fast_stats.transitions == reference_stats.transitions
+    return fast_stats
+
+
+@pytest.fixture(scope="module")
+def scenario_traces():
+    """Every catalog trace, synthesized once."""
+    return {name: SCENARIOS[name].build() for name in sorted(SCENARIOS)}
+
+
+class TestScenarioCatalogParity:
+    """Acceptance: bit-identity across the full catalog x every policy."""
+
+    @pytest.mark.parametrize("policy_name", POLICIES)
+    def test_full_catalog_bit_identical(self, platform, scenario_traces, policy_name):
+        fast_engine, reference_engine = _engines(platform)
+        for name, trace in scenario_traces.items():
+            _assert_parity(fast_engine, reference_engine, trace, platform, policy_name)
+
+
+class TestHardwareVariantParity:
+    @pytest.mark.parametrize("variant", HW_VARIANTS)
+    @pytest.mark.parametrize("policy_name", POLICIES)
+    def test_registry_variant_bit_identical(
+        self, scenario_traces, variant, policy_name
+    ):
+        hw_platform = get_hardware(variant).build()
+        fast_engine, reference_engine = _engines(hw_platform)
+        for name in HW_SCENARIO_SUBSET:
+            _assert_parity(
+                fast_engine,
+                reference_engine,
+                scenario_traces[name],
+                hw_platform,
+                policy_name,
+            )
+
+
+class TestWorkloadFamilyParity:
+    """The classic (non-catalog) families: SPEC phases and battery-life
+    residency accounting, including the record_bandwidth_samples path."""
+
+    @pytest.mark.parametrize("policy_name", POLICIES)
+    @pytest.mark.parametrize("workload", ("470.lbm", "416.gamess", "429.mcf"))
+    def test_spec_workloads(self, platform, policy_name, workload):
+        trace = spec_workload(workload, duration=0.3)
+        fast_engine, reference_engine = _engines(
+            platform, record_bandwidth_samples=True
+        )
+        _assert_parity(fast_engine, reference_engine, trace, platform, policy_name)
+
+    @pytest.mark.parametrize("policy_name", POLICIES)
+    def test_battery_life(self, platform, policy_name):
+        trace = battery_life_workload("video_playback", cycles=1)
+        fast_engine, reference_engine = _engines(platform)
+        _assert_parity(fast_engine, reference_engine, trace, platform, policy_name)
+
+
+class TestSegmentStepping:
+    """Regression guards on the segment loop itself."""
+
+    def test_model_evaluations_are_amortized(self, platform):
+        """The whole point: far fewer model evaluations than ticks."""
+        trace = battery_life_workload("video_playback", cycles=1)
+        engine = SimulationEngine(platform, SimulationConfig(max_simulated_time=1.0))
+        engine.run(trace, FixedBaselinePolicy())
+        stats = engine.last_run_stats
+        assert stats.ticks >= 900
+        assert stats.model_evaluations <= stats.ticks // 20
+        assert stats.ticks_per_evaluation > 20
+
+    def test_recurring_phases_hit_the_memo(self, platform):
+        """Markov walks revisit phases; recurring segments must skip the
+        model stack entirely."""
+        trace = SCENARIOS["markov-mobile-day"].build()
+        engine = SimulationEngine(platform, SimulationConfig(max_simulated_time=1.0))
+        engine.run(trace, _build_sysscale(platform))
+        stats = engine.last_run_stats
+        assert stats.memo_hits > 0
+        assert stats.model_evaluations < stats.segments
+
+    def test_reference_loop_counts_every_tick(self, platform):
+        trace = spec_workload("416.gamess", duration=0.1)
+        engine = SimulationEngine(
+            platform,
+            SimulationConfig(max_simulated_time=0.1, reference_loop=True),
+        )
+        engine.run(trace, FixedBaselinePolicy())
+        stats = engine.last_run_stats
+        assert stats.model_evaluations == stats.ticks
+        assert stats.memo_hits == 0
+
+    def test_policy_sees_sample_counts(self, platform):
+        """Segment-aware observation plumbing: the policy learns how many 1 ms
+        samples each averaged observation covers (30 per 30 ms interval)."""
+        observed = []
+
+        class Probe(FixedBaselinePolicy):
+            def decide(self, observation):
+                observed.append(observation.samples)
+                return super().decide(observation)
+
+        trace = spec_workload("416.gamess", duration=0.2)
+        engine = SimulationEngine(platform, SimulationConfig(max_simulated_time=0.2))
+        engine.run(trace, Probe())
+        assert observed
+        assert all(count == 30 for count in observed)
+
+    def test_fast_loop_is_materially_faster(self, platform):
+        """A very lenient wall-clock sanity floor (the bench harness measures
+        the real speedup; this only catches a fully broken fast path)."""
+        import time
+
+        trace = battery_life_workload("video_playback", cycles=1)
+        fast_engine, reference_engine = _engines(platform)
+        fast_engine.run(trace, FixedBaselinePolicy())  # warm shared caches
+        started = time.perf_counter()
+        fast_engine.run(trace, FixedBaselinePolicy())
+        fast_seconds = time.perf_counter() - started
+        started = time.perf_counter()
+        reference_engine.run(trace, FixedBaselinePolicy())
+        reference_seconds = time.perf_counter() - started
+        assert fast_seconds < reference_seconds
