@@ -1,7 +1,7 @@
 """Engine-loop microbenchmarks (the pytest-benchmark side of ``repro bench``).
 
 ``python -m repro bench`` is the authoritative harness -- it measures the
-fast/reference speedup in one invocation and writes ``BENCH_5.json``.  These
+fast/reference speedup in one invocation and writes ``BENCH_6.json``.  These
 benchmarks track the same hot paths under pytest-benchmark so regressions show
 up in the ordinary benchmark run alongside the per-figure timings:
 

@@ -10,7 +10,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro-sysscale",
-    version="1.3.0",
+    version="1.4.0",
     description=(
         "Trace-driven reproduction of SysScale (Haj-Yahya et al., ISCA 2020): "
         "multi-domain DVFS for energy-efficient mobile SoCs, with a parallel, "

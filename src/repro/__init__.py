@@ -29,7 +29,7 @@ from repro.sim.result import SimulationResult
 from repro.core.sysscale import SysScaleController, default_thresholds
 from repro.core.operating_points import OperatingPoint, build_default_operating_points
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "Platform",

@@ -185,6 +185,17 @@ class Session:
         """Every registered experiment spec, by target name."""
         return dict(registry())
 
+    @property
+    def metrics(self):
+        """The runtime's :class:`~repro.obs.metrics.MetricsRegistry`.
+
+        Always live (independent of ambient ``repro.obs`` state): job
+        accounting, batch latencies, and engine loop totals accumulate here
+        across every ``run``/``simulate`` call.  ``session.metrics.snapshot()``
+        returns the JSON-able view.
+        """
+        return self.runtime.metrics
+
     def summary(self) -> str:
         """The runtime accounting line (submitted / unique / simulated / hits)."""
         return self.runtime.summary()

@@ -31,6 +31,7 @@ from typing import Callable, Dict, Optional, Tuple
 
 from repro.experiments.report import ExperimentReport
 from repro.experiments.runner import ExperimentContext
+from repro.obs.spans import span as obs_span
 
 #: Context flags the ``run`` CLI exposes that not every experiment honors.
 CONTEXT_FLAGS: Tuple[str, ...] = ("--duration", "--tdp")
@@ -81,7 +82,8 @@ class ExperimentSpec:
                 f"experiment {self.name!r} does not accept parameter(s) "
                 f"{', '.join(unknown)}; accepted: {accepted}"
             )
-        report = self.runner(context, quick, **overrides)
+        with obs_span("experiment.run", experiment=self.name, quick=quick):
+            report = self.runner(context, quick, **overrides)
         if not isinstance(report, ExperimentReport):
             raise TypeError(
                 f"experiment {self.name!r} returned {type(report).__name__}, "

@@ -16,6 +16,8 @@ from dataclasses import dataclass, field
 from typing import Iterable, List, Optional, Sequence
 
 from repro import config
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import span as obs_span
 from repro.core.operating_points import OperatingPointTable, build_default_operating_points
 from repro.core.sysscale import SysScaleController, default_thresholds
 from repro.core.thresholds import CounterThresholds
@@ -43,31 +45,62 @@ from repro.sim.platform import Platform
 from repro.sim.result import SimulationResult
 
 
-@dataclass
 class ExperimentRuntime:
     """The execution backend experiments submit their jobs through.
 
-    Wraps one executor and (optionally) one result cache, and accumulates
-    accounting across every submission so a CLI invocation can report how much
-    work an entire figure -- or a whole list of targets -- actually simulated
-    versus served from cache.
+    Wraps one executor and (optionally) one result cache.  Accounting lives
+    in a :class:`~repro.obs.metrics.MetricsRegistry` owned by the runtime --
+    always live, independent of whether ambient ``repro.obs`` telemetry is
+    enabled -- and every submission folds its :class:`ExecutionReport` (job
+    counts, batch latency, engine loop totals) into it.  The legacy
+    ``submitted``/``unique``/``executed``/``cache_hits`` integers are now
+    read-only views over the registry, so report run accounting is populated
+    from the registry rather than ad-hoc counters.
     """
 
-    executor: Executor = field(default_factory=SerialExecutor)
-    cache: Optional[ResultCache] = None
-    progress: Optional[ProgressCallback] = None
-    submitted: int = 0
-    unique: int = 0
-    executed: int = 0
-    cache_hits: int = 0
+    def __init__(
+        self,
+        executor: Optional[Executor] = None,
+        cache: Optional[ResultCache] = None,
+        progress: Optional[ProgressCallback] = None,
+        metrics: Optional["MetricsRegistry"] = None,
+    ) -> None:
+        self.executor = executor if executor is not None else SerialExecutor()
+        self.cache = cache
+        self.progress = progress
+        self.metrics = metrics if metrics is not None else MetricsRegistry("runtime")
+
+    # ------------------------------------------------------------------
+    # Registry-backed accounting views
+    # ------------------------------------------------------------------
+    @property
+    def submitted(self) -> int:
+        return int(self.metrics.counter("runtime.jobs_submitted").value)
+
+    @property
+    def unique(self) -> int:
+        return int(self.metrics.counter("runtime.jobs_unique").value)
+
+    @property
+    def executed(self) -> int:
+        return int(self.metrics.counter("runtime.jobs_executed").value)
+
+    @property
+    def cache_hits(self) -> int:
+        return int(self.metrics.counter("runtime.cache_hits").value)
 
     def run_jobs(self, jobs: Sequence[Job]) -> ExecutionReport:
-        """Execute ``jobs`` and fold the report into the running totals."""
-        report = self.executor.run(jobs, cache=self.cache, progress=self.progress)
-        self.submitted += report.submitted
-        self.unique += report.unique_jobs
-        self.executed += report.executed
-        self.cache_hits += report.cache_hits
+        """Execute ``jobs`` and fold the report into the metrics registry."""
+        with obs_span("runtime.run_jobs", jobs=len(jobs)):
+            report = self.executor.run(jobs, cache=self.cache, progress=self.progress)
+        metrics = self.metrics
+        metrics.counter("runtime.jobs_submitted").inc(report.submitted)
+        metrics.counter("runtime.jobs_unique").inc(report.unique_jobs)
+        metrics.counter("runtime.jobs_executed").inc(report.executed)
+        metrics.counter("runtime.cache_hits").inc(report.cache_hits)
+        metrics.timer("runtime.batch_seconds").observe(report.elapsed)
+        for name, value in report.engine_stats().items():
+            metrics.counter(f"runtime.engine_{name}").inc(value)
         return report
 
     def simulate(self, jobs: Sequence[SimulationJob]) -> List[SimulationResult]:

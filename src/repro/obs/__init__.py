@@ -1,0 +1,116 @@
+"""``repro.obs``: the unified telemetry layer.
+
+One subsystem replaces the repo's four disconnected stat islands
+(``EngineRunStats``, ``CacheStats``, ``ProgressUpdate``, report runtime
+accounting):
+
+* **metrics** -- counters/gauges/histograms/timers in a
+  :class:`MetricsRegistry`; ambient accessors (``obs.counter(...)``) are
+  no-ops while telemetry is disabled (the default).
+* **spans** -- ``with obs.span("executor.run", jobs=n):`` times and nests
+  the hot path from the CLI down to the engine.
+* **engine traces** -- :class:`EngineTraceRecorder` captures the
+  segment-stepping loop's per-segment timeline (phase, operating point, MRC
+  set, per-domain power, memo hit/miss).
+* **sinks** -- :class:`JsonlSink` event files, :class:`MemorySink` for
+  tests, text renderers for ``--profile`` and ``trace describe``.
+
+Everything is scoped through :func:`scoped`, which is how worker processes
+isolate per-job metrics and merge them back to the parent.  Telemetry is
+**inert with respect to results**: no job hash, cached payload, or
+simulation output ever depends on obs state.
+
+Typical use::
+
+    from repro import obs
+    obs.enable(trace_segments=True)
+    obs.add_sink(obs.JsonlSink("trace.jsonl"))
+    with obs.span("my.workflow"):
+        ...
+    summary = obs.snapshot()
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Timer,
+    render_metrics_text,
+)
+from repro.obs.sinks import JsonlSink, MemorySink, read_jsonl
+from repro.obs.spans import Span, span
+from repro.obs.state import (
+    LEVELS,
+    ObsScope,
+    add_sink,
+    configure,
+    counter,
+    current,
+    disable,
+    emit,
+    enable,
+    enabled,
+    gauge,
+    histogram,
+    level,
+    level_enabled,
+    merge_snapshot,
+    registry,
+    remove_sink,
+    reset,
+    scoped,
+    set_level,
+    snapshot,
+    timer,
+    trace_enabled,
+)
+from repro.obs.trace import (
+    EngineTraceRecorder,
+    SegmentRecord,
+    TransitionRecord,
+    summarize_trace_events,
+)
+from repro.obs.logging import Console
+
+__all__ = [
+    "Console",
+    "Counter",
+    "EngineTraceRecorder",
+    "Gauge",
+    "Histogram",
+    "JsonlSink",
+    "LEVELS",
+    "MemorySink",
+    "MetricsRegistry",
+    "ObsScope",
+    "SegmentRecord",
+    "Span",
+    "Timer",
+    "TransitionRecord",
+    "add_sink",
+    "configure",
+    "counter",
+    "current",
+    "disable",
+    "emit",
+    "enable",
+    "enabled",
+    "gauge",
+    "histogram",
+    "level",
+    "level_enabled",
+    "merge_snapshot",
+    "read_jsonl",
+    "registry",
+    "remove_sink",
+    "render_metrics_text",
+    "reset",
+    "scoped",
+    "set_level",
+    "snapshot",
+    "span",
+    "summarize_trace_events",
+    "timer",
+    "trace_enabled",
+]

@@ -1,0 +1,78 @@
+"""Event sinks: where telemetry events go once emitted.
+
+Every event is a plain JSON-able dict with at least a ``"type"`` key
+(``"span"``, ``"log"``, ``"engine.segment"``, ``"engine.transition"``,
+``"engine.run"``).  Sinks are intentionally dumb -- no buffering policy, no
+filtering -- so the emit path stays cheap and the on-disk format stays
+trivially greppable.
+
+:class:`JsonlSink` appends one compact JSON object per line.  It opens the
+file lazily and writes each event with a single ``write()`` call, so a sink
+inherited by forked worker processes produces interleaved-but-whole lines
+rather than torn ones.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+__all__ = ["JsonlSink", "MemorySink", "read_jsonl"]
+
+
+class MemorySink:
+    """Collects events in a list; the test-suite sink."""
+
+    def __init__(self) -> None:
+        self.events: List[Dict[str, Any]] = []
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        self.events.append(event)
+
+    def clear(self) -> None:
+        self.events.clear()
+
+    def close(self) -> None:
+        return None
+
+    def of_type(self, event_type: str) -> List[Dict[str, Any]]:
+        return [e for e in self.events if e.get("type") == event_type]
+
+
+class JsonlSink:
+    """Appends events to a JSON-lines file, one compact object per line."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._handle = None
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        handle = self._handle
+        if handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            handle = self._handle = open(self.path, "a", encoding="utf-8")
+        handle.write(json.dumps(event, sort_keys=True, separators=(",", ":")) + "\n")
+        handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+def read_jsonl(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Load every event from a JSON-lines trace file."""
+    events: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events

@@ -1,0 +1,85 @@
+"""Nested timing spans over the hot path.
+
+``with obs.span("executor.run", jobs=12):`` times the block, records the
+duration in the ``span.<name>`` timer of the active registry, and emits a
+``{"type": "span", ...}`` event carrying the nesting depth, so a recorded
+trace reconstructs the CLI -> experiment -> campaign -> executor ->
+``execute_job`` -> engine call tree.
+
+When telemetry is disabled, :func:`span` returns a shared no-op context
+manager -- the call site costs one function call and nothing else.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Optional
+
+from repro.obs import state
+
+__all__ = ["Span", "span"]
+
+
+class _NullSpan:
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        return None
+
+    def annotate(self, **fields: Any) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+# Current nesting depth. Spans only run in the process that opened them, and
+# the runtime is single-threaded per process, so a module int suffices.
+_depth = 0
+
+
+class Span:
+    __slots__ = ("name", "fields", "_started", "_depth")
+
+    def __init__(self, name: str, fields: Dict[str, Any]) -> None:
+        self.name = name
+        self.fields = fields
+        self._started = 0.0
+        self._depth = 0
+
+    def annotate(self, **fields: Any) -> None:
+        """Attach extra fields to the span's event after it was opened."""
+        self.fields.update(fields)
+
+    def __enter__(self) -> "Span":
+        global _depth
+        self._depth = _depth
+        _depth += 1
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        global _depth
+        duration = time.perf_counter() - self._started
+        _depth = self._depth
+        state.timer(f"span.{self.name}").observe(duration)
+        event: Dict[str, Any] = {
+            "type": "span",
+            "name": self.name,
+            "depth": self._depth,
+            "duration_s": duration,
+        }
+        if exc_type is not None:
+            event["error"] = exc_type.__name__
+        if self.fields:
+            event.update(self.fields)
+        state.emit(event)
+
+
+def span(name: str, **fields: Any) -> Any:
+    """Open a timed span when telemetry is enabled; a no-op otherwise."""
+    if not state.enabled():
+        return _NULL_SPAN
+    return Span(name, fields)

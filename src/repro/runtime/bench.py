@@ -1,7 +1,7 @@
 """The ``python -m repro bench`` performance harness.
 
 Measures the hot paths the runtime's throughput rests on and emits one
-machine-readable JSON document (``BENCH_5.json`` by default) so every PR has a
+machine-readable JSON document (``BENCH_6.json`` by default) so every PR has a
 perf trajectory to compare against:
 
 * **engine** -- the cold single-job engine benchmark: one battery-life trace
@@ -13,6 +13,11 @@ perf trajectory to compare against:
   bit-identical**.
 * **engine_markov** -- the same comparison on a Markov scenario walk, the
   memo-friendly shape (recurring phases share one model evaluation).
+* **engine_telemetry** -- the fast engine path run three ways: ``repro.obs``
+  disabled (the default no-op state), enabled for metrics only, and enabled
+  with full segment tracing.  Reports the overhead of each; **fails unless
+  all three results are bit-identical** and the metrics-only overhead stays
+  within the acceptance bound.
 * **jobs_serial** -- a scenario-catalog job batch through ``SerialExecutor``
   against a fresh temporary result cache (cold) and again against the now-warm
   cache; reports jobs/second for both and **fails unless the warm payloads are
@@ -36,6 +41,8 @@ import time
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro.obs import Console, MemorySink
+from repro.obs import state as obs_state
 from repro.runtime.cache import ResultCache
 from repro.runtime.executor import Executor, ParallelExecutor, SerialExecutor
 from repro.sim.engine import SimulationConfig, SimulationEngine
@@ -46,13 +53,19 @@ BENCH_SCHEMA_VERSION = 1
 
 #: The PR series number this harness writes by default; the driver and CI look
 #: for ``BENCH_<n>.json`` so successive PRs leave a comparable trajectory.
-BENCH_SERIES = 5
+BENCH_SERIES = 6
 
 DEFAULT_BENCH_PATH = f"BENCH_{BENCH_SERIES}.json"
 
 #: The speedup the segment-stepping engine must sustain over the reference
 #: loop on the cold single-job benchmark (the PR's acceptance floor).
 MIN_ENGINE_SPEEDUP = 5.0
+
+#: The metrics-only telemetry overhead the fast engine path may pay (full
+#: suite); quick mode measures runs too short to separate from timer noise,
+#: so it gets a generous slack instead.
+MAX_TELEMETRY_OVERHEAD = 0.05
+MAX_TELEMETRY_OVERHEAD_QUICK = 0.50
 
 
 def _time(function: Callable[[], Any], repeats: int = 1) -> Tuple[float, Any]:
@@ -112,6 +125,76 @@ def _engine_case(
         "memo_hits": stats.memo_hits,
         "ticks_per_model_evaluation": stats.ticks_per_evaluation,
         "bit_identical": parity,
+    }
+
+
+def _telemetry_case(
+    platform: Platform,
+    trace,
+    policy_factory: Callable[[], Any],
+    max_time: float,
+    repeats: int,
+    quick: bool,
+    checks: Dict[str, bool],
+) -> Dict[str, Any]:
+    """Overhead and bit-identity of the fast engine path under telemetry.
+
+    Three timed configurations of the *same* engine: telemetry disabled (the
+    production default), enabled for metrics only, and enabled with full
+    segment tracing into an in-memory sink.  ``scoped()`` pins each run's obs
+    state explicitly, so ambient ``--trace-out``/``--profile`` flags on the
+    bench invocation itself cannot skew the disabled baseline.
+    """
+    engine = SimulationEngine(platform, SimulationConfig(max_simulated_time=max_time))
+    engine.run(trace, policy_factory())  # warm the shared platform caches
+
+    def run_plain():
+        with obs_state.scoped(enabled=False):
+            return engine.run(trace, policy_factory())
+
+    def run_metrics():
+        with obs_state.scoped(enabled=True, sinks=[]):
+            return engine.run(trace, policy_factory())
+
+    sink = MemorySink()
+
+    def run_traced():
+        sink.clear()
+        with obs_state.scoped(enabled=True, sinks=[sink], trace_segments=True):
+            return engine.run(trace, policy_factory())
+
+    plain_seconds, plain_result = _time(run_plain, repeats=repeats)
+    metrics_seconds, metrics_result = _time(run_metrics, repeats=repeats)
+    traced_seconds, traced_result = _time(run_traced, repeats=repeats)
+
+    trace_summary = engine.last_run_trace.summary() if engine.last_run_trace else {}
+    segments = int(trace_summary.get("segments", 0))
+
+    identical = (
+        plain_result.to_dict() == metrics_result.to_dict() == traced_result.to_dict()
+    )
+    metrics_overhead = (
+        metrics_seconds / plain_seconds - 1.0 if plain_seconds > 0 else 0.0
+    )
+    traced_overhead = (
+        traced_seconds / plain_seconds - 1.0 if plain_seconds > 0 else 0.0
+    )
+    bound = MAX_TELEMETRY_OVERHEAD_QUICK if quick else MAX_TELEMETRY_OVERHEAD
+    checks["telemetry_bit_identity"] = identical
+    checks["telemetry_trace_recorded"] = segments > 0
+    checks["telemetry_overhead_within_bound"] = metrics_overhead <= bound
+
+    return {
+        "workload": trace.name,
+        "ticks": engine.last_run_stats.ticks,
+        "plain_seconds": plain_seconds,
+        "metrics_seconds": metrics_seconds,
+        "traced_seconds": traced_seconds,
+        "metrics_overhead_fraction": metrics_overhead,
+        "traced_overhead_fraction": traced_overhead,
+        "overhead_bound": bound,
+        "trace_segments": segments,
+        "bit_identical": identical,
     }
 
 
@@ -224,6 +307,15 @@ def run_bench(
         repeats=repeats,
         checks=checks,
     )
+    results["engine_telemetry"] = _telemetry_case(
+        soc,
+        battery_trace,
+        lambda: _build_sysscale(soc),
+        max_time=battery_trace.total_duration + 1.0,
+        repeats=repeats,
+        quick=quick,
+        checks=checks,
+    )
     results.update(
         _jobs_cases(
             quick=quick,
@@ -248,25 +340,31 @@ def run_bench(
 
 def main(args) -> int:
     """CLI entry point (wired up by ``repro.runtime.cli``)."""
+    ui = Console(info_stream=sys.stderr if args.json else None)
     if args.jobs < 1:
-        print(f"--jobs must be at least 1, got {args.jobs}", file=sys.stderr)
+        ui.error(f"--jobs must be at least 1, got {args.jobs}")
         return 2
-    info = sys.stderr if args.json else sys.stdout
-    print(
+    ui.info(
         f"bench: {'quick' if args.quick else 'full'} suite, "
-        f"{args.jobs} worker(s)",
-        file=info,
+        f"{args.jobs} worker(s)"
     )
     document = run_bench(quick=args.quick, workers=args.jobs)
 
     for name, metrics in document["results"].items():
-        line = f"  {name:14s}"
+        line = f"  {name:16s}"
         if "speedup" in metrics:
             line += (
                 f" {metrics['ticks']:>7d} ticks  "
                 f"fast {metrics['fast_ticks_per_second']:,.0f} ticks/s  "
                 f"reference {metrics['reference_ticks_per_second']:,.0f} ticks/s  "
                 f"speedup {metrics['speedup']:.1f}x"
+            )
+        elif "metrics_overhead_fraction" in metrics:
+            line += (
+                f" {metrics['ticks']:>7d} ticks  "
+                f"metrics {metrics['metrics_overhead_fraction'] * 100:+.1f}%  "
+                f"traced {metrics['traced_overhead_fraction'] * 100:+.1f}%  "
+                f"({metrics['trace_segments']} segments)"
             )
         else:
             line += (
@@ -275,20 +373,20 @@ def main(args) -> int:
             )
             if "warm_jobs_per_second" in metrics:
                 line += f"  warm {metrics['warm_jobs_per_second']:.1f} jobs/s"
-        print(line, file=info)
+        ui.info(line)
     failed = sorted(name for name, ok in document["checks"].items() if not ok)
     if failed:
-        print(f"bench: FAILED check(s): {', '.join(failed)}", file=sys.stderr)
+        ui.error(f"bench: FAILED check(s): {', '.join(failed)}")
     else:
-        print("bench: all checks passed", file=info)
+        ui.info("bench: all checks passed")
 
     if args.json:
-        print(json.dumps(document, indent=2))
+        ui.out(json.dumps(document, indent=2))
     out_arg = args.out if args.out is not None else DEFAULT_BENCH_PATH
     if out_arg != "-":
         out = Path(out_arg)
         if str(out.parent) not in ("", "."):
             out.parent.mkdir(parents=True, exist_ok=True)
         out.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
-        print(f"wrote {out}", file=info)
+        ui.info(f"wrote {out}")
     return 0 if document["ok"] else 1

@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Iterator, Optional
 
+from repro.obs import state as obs_state
 from repro.runtime.jobs import SCHEMA_VERSION, Job
 
 #: Environment variable overriding the default cache location.
@@ -115,6 +116,8 @@ class ResultCache:
             self._memo.move_to_end(job_hash)
             self.stats.hits += 1
             self.stats.memo_hits += 1
+            obs_state.counter("cache.hits").inc()
+            obs_state.counter("cache.memo_hits").inc()
             # Serve a copy: a disk read always returned a fresh dict, so a
             # caller mutating its payload must never poison later hits.
             return copy.deepcopy(memoized)
@@ -126,11 +129,14 @@ class ResultCache:
             # OSError covers missing/unreadable files; ValueError covers both
             # json.JSONDecodeError and UnicodeDecodeError from corrupt bytes.
             self.stats.misses += 1
+            obs_state.counter("cache.misses").inc()
             return None
         if not isinstance(entry, dict) or entry.get("schema") != SCHEMA_VERSION or "result" not in entry:
             self.stats.misses += 1
+            obs_state.counter("cache.misses").inc()
             return None
         self.stats.hits += 1
+        obs_state.counter("cache.hits").inc()
         self._memoize(job_hash, entry["result"])
         return entry["result"]
 
@@ -169,6 +175,7 @@ class ResultCache:
                 pass
             raise
         self.stats.writes += 1
+        obs_state.counter("cache.writes").inc()
         self._memoize(job_hash, payload)
         return path
 

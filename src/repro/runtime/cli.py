@@ -1,6 +1,6 @@
 """The ``python -m repro`` command line.
 
-Six subcommands:
+Seven subcommands:
 
 * ``list`` -- every runnable target (the registered experiments plus the named
   sweep campaigns) and every registered building block: trace builders,
@@ -22,11 +22,24 @@ Six subcommands:
 * ``cache`` -- inspect or clear the result store;
 * ``bench`` -- the performance harness: engine ticks/sec (segment-stepping vs.
   the seed reference loop, with a bit-identity gate), runtime jobs/sec (cold
-  vs. warm cache, serial vs. parallel), written to ``BENCH_5.json``.
+  vs. warm cache, serial vs. parallel), telemetry overhead, written to
+  ``BENCH_6.json``;
+* ``trace`` -- inspect recorded telemetry: ``describe`` summarizes a JSONL
+  trace file (event counts, span timings, engine segment statistics,
+  operating-point and phase residencies).
 
-The experiment dispatch, per-target help text, and ignored-flag warnings are
-all generated from the :mod:`repro.experiments.api` registry -- there is no
-hand-maintained target table.  Every experiment returns a structured
+``run``, ``scenarios sweep``, and ``bench`` share the telemetry flags:
+``--log-level`` filters decorative output, ``--trace-out PATH`` records every
+``repro.obs`` event (spans, logs, engine segments) to a JSON-lines file, and
+``--profile`` prints the metrics-registry summary when the command finishes.
+Telemetry never changes results: job hashes, cache entries, and simulation
+outputs are bit-identical with or without it.
+
+All user-facing text goes through :class:`repro.obs.logging.Console`, which
+enforces the output discipline: the experiment dispatch, per-target help text,
+and ignored-flag warnings are all generated from the
+:mod:`repro.experiments.api` registry -- there is no hand-maintained target
+table.  Every experiment returns a structured
 :class:`~repro.experiments.report.ExperimentReport`; ``--json`` emits the exact
 ``ExperimentReport.from_dict`` round-trip document on stdout (decorative output
 moves to stderr, so ``python -m repro run fig7 --json | jq .`` works), and
@@ -48,7 +61,7 @@ import sys
 import time
 from typing import Any, Dict, List, Optional
 
-from repro import config
+from repro import config, obs
 from repro.experiments import build_context
 from repro.experiments.api import CONTEXT_FLAGS, ExperimentSpec, registry
 from repro.experiments.report import (
@@ -61,6 +74,7 @@ from repro.experiments.report import (
 )
 from repro.experiments.runner import ExperimentContext, ExperimentRuntime
 from repro.hw import DRAM_SPECS, HARDWARE, HardwareSpec, get_hardware
+from repro.obs import Console, JsonlSink, read_jsonl, render_metrics_text, summarize_trace_events
 from repro.runtime.cache import ResultCache, default_cache_dir
 from repro.runtime.campaign import CAMPAIGNS, scenario_campaign
 from repro.runtime.executor import ProgressUpdate, make_executor
@@ -120,9 +134,9 @@ def _hardware_from_args(args: argparse.Namespace) -> Optional[HardwareSpec]:
 class _ProgressPrinter:
     """Prints at most ~10 evenly spaced progress lines per batch."""
 
-    def __init__(self, stream=None) -> None:
+    def __init__(self, console: Console) -> None:
         self._last_decile = -1
-        self._stream = stream
+        self._console = console
 
     def __call__(self, update: ProgressUpdate) -> None:
         if update.total <= 0:
@@ -131,10 +145,8 @@ class _ProgressPrinter:
         if update.completed == update.total or decile > self._last_decile:
             self._last_decile = decile if update.completed < update.total else -1
             source = "cache" if update.from_cache else "simulated"
-            print(
-                f"    [{update.completed}/{update.total}] {update.label} ({source})",
-                flush=True,
-                file=self._stream or sys.stdout,
+            self._console.info(
+                f"    [{update.completed}/{update.total}] {update.label} ({source})"
             )
 
 
@@ -147,14 +159,51 @@ def _exporting(args: argparse.Namespace) -> bool:
     )
 
 
-def _build_runtime(args: argparse.Namespace) -> ExperimentRuntime:
+def _console_for(args: argparse.Namespace) -> Console:
+    """A console whose decorations avoid a machine-readable stdout."""
+    return Console(info_stream=sys.stderr if _exporting(args) else None)
+
+
+def _obs_setup(args: argparse.Namespace) -> Optional[JsonlSink]:
+    """Apply ``--log-level``/``--trace-out``/``--profile`` to the ambient scope.
+
+    Returns the trace sink (if one was opened) so the caller can close it in
+    ``_obs_teardown``.  Telemetry stays disabled unless tracing or profiling
+    was requested, keeping the default invocation on the no-op fast path.
+    """
+    obs.reset()
+    level = getattr(args, "log_level", None)
+    if level:
+        obs.set_level(level)
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out or getattr(args, "profile", False):
+        obs.enable(trace_segments=bool(trace_out))
+    if trace_out:
+        return obs.add_sink(JsonlSink(trace_out))
+    return None
+
+
+def _obs_teardown(
+    args: argparse.Namespace, sink: Optional[JsonlSink], ui: Console
+) -> None:
+    """Render ``--profile``, close the trace sink, and reset ambient state."""
+    if getattr(args, "profile", False):
+        ui.info(render_metrics_text(obs.snapshot(), title="profile"))
+    if sink is not None:
+        obs.remove_sink(sink)
+        sink.close()
+        ui.info(f"trace: wrote {sink.path}")
+    obs.reset()
+
+
+def _build_runtime(args: argparse.Namespace, ui: Console) -> ExperimentRuntime:
     cache = None if args.no_cache else ResultCache(args.cache_dir)
-    # Progress lines target the human; keep them off a machine-readable stdout.
-    stream = sys.stderr if _exporting(args) else sys.stdout
+    # Progress lines target the human; the console keeps them off a
+    # machine-readable stdout.
     return ExperimentRuntime(
         executor=make_executor(args.jobs),
         cache=cache,
-        progress=_ProgressPrinter(stream) if args.progress else None,
+        progress=_ProgressPrinter(ui) if args.progress else None,
     )
 
 
@@ -162,30 +211,31 @@ def _cmd_list(args: argparse.Namespace) -> int:
     from repro.scenarios.generators import GENERATORS
     from repro.scenarios.registry import SCENARIOS
 
-    print("experiments:")
+    ui = Console()
+    ui.out("experiments:")
     for name, spec in registry().items():
-        print(f"  {name:12s} {spec.title}")
+        ui.out(f"  {name:12s} {spec.title}")
         if spec.description:
-            print(f"  {'':12s}   {spec.description}")
-    print("campaigns:")
+            ui.out(f"  {'':12s}   {spec.description}")
+    ui.out("campaigns:")
     for name, factory in CAMPAIGNS.items():
         campaign = factory(True)
-        print(f"  {name:12s} {campaign.description} ({len(factory(False))} jobs full)")
-    print("trace builders (TraceSpec.make(<builder>, ...)):")
+        ui.out(f"  {name:12s} {campaign.description} ({len(factory(False))} jobs full)")
+    ui.out("trace builders (TraceSpec.make(<builder>, ...)):")
     for name in sorted(TRACE_BUILDERS):
-        print(f"  {name}")
-    print("policies (PolicySpec.make(<builder>, ...)):")
+        ui.out(f"  {name}")
+    ui.out("policies (PolicySpec.make(<builder>, ...)):")
     for name in sorted(POLICY_BUILDERS):
-        print(f"  {name}")
-    print("platforms (repro.hw registry; run --platform NAME --set key=value):")
-    _print_hardware_catalog()
-    print(f"  dram: {', '.join(sorted(DRAM_SPECS))}")
-    print(
+        ui.out(f"  {name}")
+    ui.out("platforms (repro.hw registry; run --platform NAME --set key=value):")
+    _print_hardware_catalog(ui)
+    ui.out(f"  dram: {', '.join(sorted(DRAM_SPECS))}")
+    ui.out(
         f"  tdp: default {config.SKYLAKE_DEFAULT_TDP:g} W "
         f"(evaluated range {config.SKYLAKE_TDP_RANGE[0]:g}-"
         f"{config.SKYLAKE_TDP_RANGE[1]:g} W)"
     )
-    print(
+    ui.out(
         f"scenarios: {len(SCENARIOS)} in catalog across {len(GENERATORS)} "
         "generators (python -m repro scenarios list)"
     )
@@ -197,6 +247,7 @@ def _run_experiment(
     context: ExperimentContext,
     args: argparse.Namespace,
     params: Dict[str, Any],
+    ui: Console,
 ) -> ExperimentReport:
     """One registry target, with ignored-flag warnings derived from the spec."""
     changed = {
@@ -205,18 +256,14 @@ def _run_experiment(
     }
     ignored = [flag for flag in spec.ignored_flags if changed.get(flag)]
     if ignored:
-        print(
-            f"note: {'/'.join(ignored)} do(es) not apply to {spec.name!r}",
-            file=sys.stderr,
-        )
+        ui.warning(f"note: {'/'.join(ignored)} do(es) not apply to {spec.name!r}")
     accepted = {key: value for key, value in params.items() if key in spec.params}
     dropped = sorted(set(params) - set(accepted))
     if dropped:
         known = ", ".join(spec.params) if spec.params else "none"
-        print(
+        ui.warning(
             f"note: --param {'/'.join(dropped)} do(es) not apply to "
-            f"{spec.name!r} (accepted: {known})",
-            file=sys.stderr,
+            f"{spec.name!r} (accepted: {known})"
         )
     if not accepted:
         return spec.run(context, quick=args.quick)
@@ -236,23 +283,24 @@ def _run_campaign(
     args: argparse.Namespace,
     sim_config: Optional[SimulationConfig],
     hardware: Optional[HardwareSpec],
+    ui: Console,
 ) -> ExperimentReport:
     """One named campaign, wrapped into the same report type as experiments."""
     # Campaign jobs carry their own platform and trace specs; of the context
     # flags only --max-time and --platform/--set are folded in, so say so
     # rather than silently presenting default-platform numbers.
     if args.tdp is not None or args.duration != 1.0:
-        print(
+        ui.warning(
             f"note: --tdp/--duration do not apply to campaign {target!r} "
             "(its jobs define their own platforms and trace durations; "
-            "use --platform/--set for the hardware)",
-            file=sys.stderr,
+            "use --platform/--set for the hardware)"
         )
     campaign = CAMPAIGNS[target](args.quick, hardware=hardware)
     if sim_config is not None:
         campaign = campaign.with_sim(SimSpec.from_config(sim_config))
     before = runtime.accounting()
-    report = runtime.run_jobs(campaign.jobs)
+    with obs.span("campaign.run", campaign=target, jobs=len(campaign.jobs)):
+        report = runtime.run_jobs(campaign.jobs)
     rows = []
     for outcome in report.outcomes:
         assert isinstance(outcome.job, SimulationJob)
@@ -291,6 +339,7 @@ def _write_report_file(
     report: ExperimentReport,
     args: argparse.Namespace,
     counts: Dict[str, int],
+    ui: Console,
 ) -> None:
     """Write one report under ``--out`` as soon as its target completes, so a
     failure in a later target never discards finished work.
@@ -312,11 +361,11 @@ def _write_report_file(
         path = out
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(_render_export(report, args))
-    print(f"wrote {path}", file=sys.stderr)
+    ui.info(f"wrote {path}")
 
 
 def _write_stdout_exports(
-    reports: List[tuple], args: argparse.Namespace
+    reports: List[tuple], args: argparse.Namespace, ui: Console
 ) -> None:
     """Emit ``--json``/``--csv`` documents on stdout.
 
@@ -325,26 +374,26 @@ def _write_stdout_exports(
     array so stdout stays a single valid document.
     """
     if args.csv:
-        sys.stdout.write("\n".join(render_csv(r) for _, r in reports))
+        ui.write("\n".join(render_csv(r) for _, r in reports))
     elif len(reports) == 1:
-        sys.stdout.write(_render_export(reports[0][1], args))
+        ui.write(_render_export(reports[0][1], args))
     else:
         documents = [report.to_dict() for _, report in reports]
-        sys.stdout.write(json.dumps(documents, indent=2) + "\n")
+        ui.write(json.dumps(documents, indent=2) + "\n")
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    ui = _console_for(args)
     specs = registry()
     unknown = [t for t in args.targets if t not in specs and t not in CAMPAIGNS]
     if unknown:
-        print(
+        ui.error(
             f"unknown target(s): {', '.join(unknown)}; "
-            f"known: {', '.join(_available_targets())}",
-            file=sys.stderr,
+            f"known: {', '.join(_available_targets())}"
         )
         return 2
     if args.json and args.csv:
-        print("--json and --csv are mutually exclusive", file=sys.stderr)
+        ui.error("--json and --csv are mutually exclusive")
         return 2
     hardware = _hardware_from_args(args)
     params = _parse_assignments(args.param, "--param")
@@ -358,10 +407,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
     bogus = sorted(set(params) - accepted_anywhere)
     if bogus:
         known = ", ".join(sorted(accepted_anywhere)) or "none for these targets"
-        print(
+        ui.error(
             f"unknown experiment parameter(s): {', '.join(bogus)}; "
-            f"accepted: {known}",
-            file=sys.stderr,
+            f"accepted: {known}"
         )
         return 2
     for flag, value, minimum in (
@@ -374,7 +422,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             continue
         if (minimum is not None and value < minimum) or (minimum is None and value <= 0):
             bound = f"at least {minimum}" if minimum is not None else "positive"
-            print(f"{flag} must be {bound}, got {value}", file=sys.stderr)
+            ui.error(f"{flag} must be {bound}, got {value}")
             return 2
 
     if (
@@ -383,18 +431,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
         and os.path.exists(args.out)
         and not os.path.isdir(args.out)
     ):
-        print(
+        ui.error(
             f"--out {args.out!r} must be a directory when running several "
-            "targets (one file per target is written into it)",
-            file=sys.stderr,
+            "targets (one file per target is written into it)"
         )
         return 2
 
-    # With a machine-readable stdout, route decorative lines to stderr.
     exporting = _exporting(args)
-    info = sys.stderr if exporting else sys.stdout
-
-    runtime = _build_runtime(args)
+    sink = _obs_setup(args)
+    runtime = _build_runtime(args, ui)
     sim_config = (
         SimulationConfig(max_simulated_time=args.max_time) if args.max_time else None
     )
@@ -409,51 +454,56 @@ def _cmd_run(args: argparse.Namespace) -> int:
     reports: List[tuple] = []
     written: Dict[str, int] = {}
     try:
-        for target in args.targets:
-            print(f"== {target} ==", file=info)
-            started = time.perf_counter()
-            if target in specs:
-                report = _run_experiment(specs[target], context, args, params)
-            else:
-                report = _run_campaign(target, runtime, args, sim_config, hardware)
-            elapsed = time.perf_counter() - started
-            reports.append((target, report))
-            if args.out is not None:
-                _write_report_file(target, report, args, written)
-            elif not exporting:
-                print(render_text(report))
-            print(f"  elapsed: {elapsed:.2f}s", file=info)
+        with obs.span("cli.run", targets=len(args.targets)):
+            for target in args.targets:
+                ui.info(f"== {target} ==")
+                started = time.perf_counter()
+                if target in specs:
+                    report = _run_experiment(specs[target], context, args, params, ui)
+                else:
+                    report = _run_campaign(
+                        target, runtime, args, sim_config, hardware, ui
+                    )
+                elapsed = time.perf_counter() - started
+                reports.append((target, report))
+                if args.out is not None:
+                    _write_report_file(target, report, args, written, ui)
+                elif not exporting:
+                    ui.out(render_text(report))
+                ui.info(f"  elapsed: {elapsed:.2f}s")
     finally:
         # One pool serves every target; release its workers deterministically.
         runtime.close()
 
     if exporting and args.out is None:
-        _write_stdout_exports(reports, args)
+        _write_stdout_exports(reports, args, ui)
 
-    print(f"runtime: {runtime.summary()}", file=info)
+    ui.info(f"runtime: {runtime.summary()}")
     if runtime.cache is not None:
-        print(f"cache: {runtime.cache.root} ({len(runtime.cache)} entries)", file=info)
+        ui.info(f"cache: {runtime.cache.root} ({len(runtime.cache)} entries)")
+    _obs_teardown(args, sink, ui)
     return 0
 
 
-def _print_hardware_catalog() -> None:
+def _print_hardware_catalog(ui: Console) -> None:
     """One line per registered platform (shared by ``list`` and ``hw list``)."""
     for name in sorted(HARDWARE):
         spec = HARDWARE[name]
-        print(f"  {name:18s} {spec.label:24s} {spec.description}")
+        ui.out(f"  {name:18s} {spec.label:24s} {spec.description}")
 
 
 def _cmd_hw_list(args: argparse.Namespace) -> int:
+    ui = Console()
     if args.json:
-        print(
+        ui.out(
             json.dumps(
                 {name: HARDWARE[name].to_dict() for name in sorted(HARDWARE)},
                 indent=2,
             )
         )
         return 0
-    _print_hardware_catalog()
-    print(
+    _print_hardware_catalog(ui)
+    ui.out(
         f"{len(HARDWARE)} platform(s); describe one with: hw describe NAME, "
         "derive variants with: run --platform NAME --set key=value"
     )
@@ -461,16 +511,17 @@ def _cmd_hw_list(args: argparse.Namespace) -> int:
 
 
 def _cmd_hw_describe(args: argparse.Namespace) -> int:
+    ui = Console()
     try:
         spec = get_hardware(args.name)
     except KeyError as error:
-        print(str(error.args[0]), file=sys.stderr)
+        ui.error(str(error.args[0]))
         return 2
     if args.set:
         try:
             spec = spec.derive(**_parse_assignments(args.set, "--set"))
         except (KeyError, TypeError, ValueError) as error:
-            print(f"invalid hardware description: {error}", file=sys.stderr)
+            ui.error(f"invalid hardware description: {error}")
             return 2
     platform = spec.build()
     details = {
@@ -480,17 +531,17 @@ def _cmd_hw_describe(args: argparse.Namespace) -> int:
         "platform": platform.describe(),
     }
     if args.json:
-        print(json.dumps(details, indent=2))
+        ui.out(json.dumps(details, indent=2))
         return 0
-    print(f"hardware {spec.name!r}: {spec.description}")
-    print(f"  label: {spec.label}")
-    print(f"  content hash: {spec.content_hash}")
+    ui.out(f"hardware {spec.name!r}: {spec.description}")
+    ui.out(f"  label: {spec.label}")
+    ui.out(f"  content hash: {spec.content_hash}")
     for key, value in spec.describe().items():
         if key == "content_hash":
             continue
         formatted = f"{value:.4g}" if isinstance(value, float) else value
-        print(f"  {key}: {formatted}")
-    print(
+        ui.out(f"  {key}: {formatted}")
+    ui.out(
         "  worst_case_io_memory_power_w: "
         f"{platform.describe()['worst_case_io_memory_power_w']:.4g}"
     )
@@ -498,25 +549,26 @@ def _cmd_hw_describe(args: argparse.Namespace) -> int:
 
 
 def _cmd_hw_hash(args: argparse.Namespace) -> int:
+    ui = Console()
     names = args.names or sorted(HARDWARE)
     unknown = [name for name in names if name not in HARDWARE]
     if unknown:
-        print(
+        ui.error(
             f"unknown hardware: {', '.join(unknown)}; "
-            f"known: {', '.join(sorted(HARDWARE))}",
-            file=sys.stderr,
+            f"known: {', '.join(sorted(HARDWARE))}"
         )
         return 2
     for name in names:
-        print(f"{HARDWARE[name].content_hash}  {name}")
+        ui.out(f"{HARDWARE[name].content_hash}  {name}")
     return 0
 
 
 def _cmd_scenarios_list(args: argparse.Namespace) -> int:
     from repro.scenarios.registry import SCENARIOS
 
+    ui = Console()
     if args.json:
-        print(
+        ui.out(
             json.dumps(
                 {name: SCENARIOS[name].to_dict() for name in sorted(SCENARIOS)},
                 indent=2,
@@ -525,19 +577,19 @@ def _cmd_scenarios_list(args: argparse.Namespace) -> int:
         return 0
     for name in sorted(SCENARIOS):
         spec = SCENARIOS[name]
-        print(f"  {name:26s} {spec.generator:22s} seed={spec.seed:<6d} {spec.description}")
-    print(f"{len(SCENARIOS)} scenario(s); describe one with: scenarios describe NAME")
+        ui.out(f"  {name:26s} {spec.generator:22s} seed={spec.seed:<6d} {spec.description}")
+    ui.out(f"{len(SCENARIOS)} scenario(s); describe one with: scenarios describe NAME")
     return 0
 
 
 def _cmd_scenarios_describe(args: argparse.Namespace) -> int:
     from repro.scenarios.registry import SCENARIOS
 
+    ui = Console()
     spec = SCENARIOS.get(args.name)
     if spec is None:
-        print(
-            f"unknown scenario {args.name!r}; known: {', '.join(sorted(SCENARIOS))}",
-            file=sys.stderr,
+        ui.error(
+            f"unknown scenario {args.name!r}; known: {', '.join(sorted(SCENARIOS))}"
         )
         return 2
     trace = spec.build()
@@ -556,37 +608,38 @@ def _cmd_scenarios_describe(args: argparse.Namespace) -> int:
         },
     }
     if args.json:
-        print(json.dumps(details, indent=2))
+        ui.out(json.dumps(details, indent=2))
         return 0
-    print(f"scenario {spec.name!r}: {spec.description}")
-    print(f"  generator: {spec.generator}  seed: {spec.seed}")
+    ui.out(f"scenario {spec.name!r}: {spec.description}")
+    ui.out(f"  generator: {spec.generator}  seed: {spec.seed}")
     if spec.params:
         rendered = ", ".join(f"{key}={value}" for key, value in spec.params)
-        print(f"  params: {rendered}")
-    print(f"  content hash: {spec.content_hash}")
+        ui.out(f"  params: {rendered}")
+    ui.out(f"  content hash: {spec.content_hash}")
     for key, value in details["trace"].items():
         formatted = f"{value:.4g}" if isinstance(value, float) else value
-        print(f"  {key}: {formatted}")
+        ui.out(f"  {key}: {formatted}")
     return 0
 
 
 def _cmd_scenarios_sweep(args: argparse.Namespace) -> int:
+    ui = _console_for(args)
     unknown = [p for p in (args.policies or []) if p not in POLICY_BUILDERS]
     if unknown:
-        print(
+        ui.error(
             f"unknown polic(ies): {', '.join(unknown)}; "
-            f"known: {', '.join(sorted(POLICY_BUILDERS))}",
-            file=sys.stderr,
+            f"known: {', '.join(sorted(POLICY_BUILDERS))}"
         )
         return 2
     if args.jobs < 1:
-        print(f"--jobs must be at least 1, got {args.jobs}", file=sys.stderr)
+        ui.error(f"--jobs must be at least 1, got {args.jobs}")
         return 2
     if args.max_time is not None and args.max_time <= 0:
-        print(f"--max-time must be positive, got {args.max_time}", file=sys.stderr)
+        ui.error(f"--max-time must be positive, got {args.max_time}")
         return 2
 
-    runtime = _build_runtime(args)
+    sink = _obs_setup(args)
+    runtime = _build_runtime(args, ui)
     policies = (
         tuple(PolicySpec.make(name) for name in args.policies)
         if args.policies
@@ -600,7 +653,8 @@ def _cmd_scenarios_sweep(args: argparse.Namespace) -> int:
 
     started = time.perf_counter()
     try:
-        report = runtime.run_jobs(campaign.jobs)
+        with obs.span("cli.scenarios_sweep", jobs=len(campaign.jobs)):
+            report = runtime.run_jobs(campaign.jobs)
     finally:
         runtime.close()
     elapsed = time.perf_counter() - started
@@ -631,11 +685,10 @@ def _cmd_scenarios_sweep(args: argparse.Namespace) -> int:
             rows.append(row)
 
     # Like `run --json`: keep stdout a single parseable document.
-    info = sys.stderr if args.json else sys.stdout
     if args.json:
-        print(json.dumps({"sweep": campaign.description, "rows": rows}, indent=2))
+        ui.out(json.dumps({"sweep": campaign.description, "rows": rows}, indent=2))
     else:
-        print(
+        ui.out(
             f"sweep: {len(per_scenario)} scenario(s) x "
             f"{len({row['policy'] for row in rows})} polic(ies), "
             f"{len(campaign.jobs)} job(s)"
@@ -650,20 +703,21 @@ def _cmd_scenarios_sweep(args: argparse.Namespace) -> int:
                     f"  d_energy={row['energy_reduction'] * 100:.6g}%"
                     f"  d_perf={row['perf_impact'] * 100:.6g}%"
                 )
-            print(line)
+            ui.out(line)
         reductions = [
             row["energy_reduction"] for row in rows
             if row["policy"] == "sysscale" and "energy_reduction" in row
         ]
         if reductions:
-            print(
+            ui.out(
                 f"  sysscale average energy reduction: "
                 f"{sum(reductions) / len(reductions) * 100:.6g}%"
             )
-    print(f"  elapsed: {elapsed:.2f}s", file=info)
-    print(f"runtime: {runtime.summary()}", file=info)
+    ui.info(f"  elapsed: {elapsed:.2f}s")
+    ui.info(f"runtime: {runtime.summary()}")
     if runtime.cache is not None:
-        print(f"cache: {runtime.cache.root} ({len(runtime.cache)} entries)", file=info)
+        ui.info(f"cache: {runtime.cache.root} ({len(runtime.cache)} entries)")
+    _obs_teardown(args, sink, ui)
     return 0
 
 
@@ -672,19 +726,80 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     # builders, which nothing else on the CLI's import path needs.
     from repro.runtime.bench import main as bench_main
 
-    return bench_main(args)
+    ui = _console_for(args)
+    sink = _obs_setup(args)
+    try:
+        return bench_main(args)
+    finally:
+        _obs_teardown(args, sink, ui)
+
+
+def _cmd_trace_describe(args: argparse.Namespace) -> int:
+    ui = Console()
+    try:
+        events = read_jsonl(args.path)
+    except OSError as error:
+        ui.error(f"cannot read trace {args.path!r}: {error}")
+        return 2
+    except ValueError as error:
+        ui.error(f"trace {args.path!r} is not valid JSONL: {error}")
+        return 2
+    summary = summarize_trace_events(events)
+    if args.json:
+        ui.out(json.dumps(summary, indent=2))
+        return 0
+    ui.out(f"trace: {args.path}")
+    ui.out(f"  events: {summary['events']}")
+    for event_type, count in summary["by_type"].items():
+        ui.out(f"    {event_type}: {count}")
+    engine = summary["engine"]
+    if engine["segments"]:
+        ui.out("engine:")
+        ui.out(
+            f"  {engine['runs']} run(s), {engine['segments']} segment(s), "
+            f"{engine['ticks']} tick(s), {engine['transitions']} transition(s)"
+        )
+        ui.out(
+            f"  memo hit rate: {engine['memo_hit_rate'] * 100:.1f}%  "
+            f"simulated: {engine['simulated_s']:.4g}s"
+        )
+        energy = summary["energy_j"]
+        ui.out(
+            "  energy: "
+            + "  ".join(f"{domain}={joules:.4g}J" for domain, joules in energy.items())
+        )
+        ui.out("  dram residency:")
+        for point, seconds in summary["dram_residency_s"].items():
+            ui.out(f"    {point}: {seconds:.4g}s")
+        ui.out("  phase residency:")
+        for phase, seconds in summary["phase_residency_s"].items():
+            ui.out(f"    {phase}: {seconds:.4g}s")
+    if "spans" in summary:
+        ui.out("spans:")
+        for name, entry in summary["spans"].items():
+            ui.out(
+                f"  {name:24s} count={entry['count']:<5d} "
+                f"total={entry['total_s']:.4g}s max={entry['max_s']:.4g}s"
+            )
+    if "logs" in summary:
+        rendered = ", ".join(
+            f"{level}={count}" for level, count in summary["logs"].items()
+        )
+        ui.out(f"logs: {rendered}")
+    return 0
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
+    ui = Console()
     cache = ResultCache(args.cache_dir)
     if args.clear:
         removed = cache.clear()
-        print(f"removed {removed} entries from {cache.root}")
+        ui.out(f"removed {removed} entries from {cache.root}")
         return 0
     entries = len(cache)
-    print(f"cache: {cache.root}")
-    print(f"  entries: {entries}")
-    print(f"  size: {cache.size_bytes() / 1024:.1f} KiB")
+    ui.out(f"cache: {cache.root}")
+    ui.out(f"  entries: {entries}")
+    ui.out(f"  size: {cache.size_bytes() / 1024:.1f} KiB")
     return 0
 
 
@@ -725,6 +840,26 @@ def _add_runtime_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    """The telemetry flags shared by ``run``, ``scenarios sweep``, and ``bench``."""
+    parser.add_argument(
+        "--log-level", choices=sorted(obs.LEVELS, key=obs.LEVELS.get),
+        default=None, metavar="LEVEL",
+        help="minimum level for decorative output (debug/info/warning/error)",
+    )
+    parser.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help=(
+            "record telemetry events (spans, logs, engine segment timelines) "
+            "to a JSON-lines file; summarize it with `trace describe PATH`"
+        ),
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="enable metrics collection and print the registry summary at exit",
+    )
+
+
 def _run_epilog() -> str:
     """Per-target help text, generated from the experiment registry."""
     lines = ["targets (from the experiment registry):"]
@@ -760,6 +895,7 @@ def build_parser() -> argparse.ArgumentParser:
         "targets", nargs="+", metavar="TARGET", help="figure, table, or campaign name"
     )
     _add_runtime_flags(run_parser)
+    _add_obs_flags(run_parser)
     run_parser.add_argument(
         "--quick", action="store_true", help="reduced workload sets for fast runs"
     )
@@ -855,6 +991,7 @@ def build_parser() -> argparse.ArgumentParser:
         "sweep", help="sweep scenarios x policies through the runtime"
     )
     _add_runtime_flags(scen_sweep)
+    _add_obs_flags(scen_sweep)
     _add_hardware_flags(scen_sweep)
     scen_sweep.add_argument(
         "--policies", nargs="+", metavar="POLICY",
@@ -875,12 +1012,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     bench_parser = subparsers.add_parser(
         "bench",
-        help="run the performance harness and write BENCH_5.json",
+        help="run the performance harness and write BENCH_6.json",
         description=(
             "Measure engine ticks/sec (segment-stepping vs. the seed "
             "reference loop) and runtime jobs/sec (cold vs. warm cache, "
-            "serial vs. parallel), gate on bit-identity, and write one "
-            "machine-readable JSON document."
+            "serial vs. parallel), gate on bit-identity and telemetry "
+            "overhead, and write one machine-readable JSON document."
         ),
     )
     bench_parser.add_argument(
@@ -895,7 +1032,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default=None, metavar="PATH",
         help=(
             "write the bench document to PATH "
-            "(default BENCH_5.json in the working directory; "
+            "(default BENCH_6.json in the working directory; "
             "'-' skips the file)"
         ),
     )
@@ -903,7 +1040,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="print the bench document as JSON on stdout",
     )
+    _add_obs_flags(bench_parser)
     bench_parser.set_defaults(handler=_cmd_bench)
+
+    trace_parser = subparsers.add_parser(
+        "trace", help="inspect recorded telemetry traces (repro.obs)"
+    )
+    trace_sub = trace_parser.add_subparsers(dest="trace_command", required=True)
+    trace_describe = trace_sub.add_parser(
+        "describe",
+        help="summarize a JSON-lines trace recorded with --trace-out",
+    )
+    trace_describe.add_argument(
+        "path", metavar="PATH", help="trace file written by --trace-out"
+    )
+    trace_describe.add_argument(
+        "--json", action="store_true", help="print the summary as JSON"
+    )
+    trace_describe.set_defaults(handler=_cmd_trace_describe)
 
     cache_parser = subparsers.add_parser("cache", help="inspect or clear the cache")
     cache_parser.add_argument(
@@ -924,7 +1078,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         return args.handler(args)
     except _CliError as error:
-        print(str(error), file=sys.stderr)
+        Console().error(str(error))
         return 2
 
 

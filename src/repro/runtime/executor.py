@@ -11,7 +11,10 @@ Worker processes rebuild their own platforms from the job specs (see
 ``repro.runtime.jobs.platform_for``): the simulation engine mutates live MRC
 register state while running, so a platform object must never be shared by two
 concurrent runs.  Serial and parallel execution funnel through the same
-``execute_job`` function, which is what makes their results bit-identical.
+``execute_job_with_stats`` function, which is what makes their results
+bit-identical; engine loop statistics ride back alongside each payload (and
+per-worker metric snapshots are merged into the parent's ``repro.obs``
+registry when telemetry is enabled), never inside it.
 
 The pool is created lazily on the first batch that needs it and then **kept
 alive across** ``run()`` **calls**: a session that submits one experiment after
@@ -34,8 +37,11 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
+from repro.obs import state as obs_state
+from repro.obs.spans import span as _span
 from repro.runtime.cache import ResultCache
-from repro.runtime.jobs import Job, decode_result, execute_job
+from repro.runtime.jobs import Job, decode_result, execute_job_with_stats
+from repro.sim.result import EngineRunStats
 
 
 @dataclass(frozen=True)
@@ -55,11 +61,19 @@ ProgressCallback = Callable[[ProgressUpdate], None]
 
 @dataclass(frozen=True)
 class JobOutcome:
-    """One submitted job with its payload and provenance."""
+    """One submitted job with its payload and provenance.
+
+    ``stats`` carries the engine's per-run loop statistics when the job was
+    actually simulated in this call; it is ``None`` for cache hits (nothing
+    ran) and for job kinds without an engine pass.  Stats ride *next to* the
+    payload -- they are never cached, so cached payloads stay byte-identical
+    regardless of telemetry.
+    """
 
     job: Job
     payload: Dict[str, Any]
     from_cache: bool
+    stats: Optional[EngineRunStats] = None
 
     @property
     def result(self):
@@ -98,6 +112,35 @@ class ExecutionReport:
             f"in {self.elapsed:.2f}s"
         )
 
+    def engine_stats(self) -> Dict[str, int]:
+        """Aggregate engine loop statistics over the jobs executed this call.
+
+        Duplicate submissions share one execution, so totals are per unique
+        job; cache hits contribute nothing (no engine ran for them).
+        """
+        totals = {
+            "runs": 0,
+            "ticks": 0,
+            "segments": 0,
+            "model_evaluations": 0,
+            "memo_hits": 0,
+            "evaluations": 0,
+            "transitions": 0,
+        }
+        seen = set()
+        for outcome in self.outcomes:
+            stats = outcome.stats
+            if stats is None:
+                continue
+            job_hash = outcome.job.content_hash
+            if job_hash in seen:
+                continue
+            seen.add(job_hash)
+            totals["runs"] += 1
+            for name, value in stats.as_dict().items():
+                totals[name] += value
+        return totals
+
 
 class Executor:
     """Common dedup-then-execute plumbing; subclasses provide ``_execute_many``."""
@@ -117,6 +160,7 @@ class Executor:
             unique.setdefault(job.content_hash, job)
 
         resolved: Dict[str, Dict[str, Any]] = {}
+        stats_by_hash: Dict[str, EngineRunStats] = {}
         hit_hashes = set()
         if cache is not None:
             for job_hash, job in unique.items():
@@ -127,6 +171,17 @@ class Executor:
 
         pending = [job for job_hash, job in unique.items() if job_hash not in resolved]
         total = len(unique)
+
+        metrics_on = obs_state.enabled()
+        if metrics_on:
+            obs_state.counter("executor.submitted").inc(len(jobs))
+            obs_state.counter("executor.unique").inc(total)
+            obs_state.counter("executor.cache_hits").inc(len(hit_hashes))
+            if jobs:
+                # Dedup ratio: how much work submission-level duplication saved.
+                obs_state.histogram("executor.dedup_ratio").observe(
+                    1.0 - total / len(jobs)
+                )
 
         if progress is not None:
             ordered_hits = [h for h in unique if h in hit_hashes]
@@ -143,9 +198,17 @@ class Executor:
                     )
                 )
 
-        def on_executed(job: Job, payload: Dict[str, Any]) -> None:
+        def on_executed(
+            job: Job,
+            payload: Dict[str, Any],
+            stats: Optional[EngineRunStats] = None,
+        ) -> None:
             job_hash = job.content_hash
             resolved[job_hash] = payload
+            if stats is not None:
+                stats_by_hash[job_hash] = stats
+            if metrics_on:
+                obs_state.counter("executor.executed").inc()
             if cache is not None:
                 cache.put(job, payload)
             if progress is not None:
@@ -161,13 +224,17 @@ class Executor:
                 )
 
         if pending:
-            self._execute_many(pending, on_executed)
+            with _span(
+                "executor.run", executor=type(self).__name__, jobs=len(pending)
+            ):
+                self._execute_many(pending, on_executed)
 
         outcomes = [
             JobOutcome(
                 job=job,
                 payload=resolved[job.content_hash],
                 from_cache=job.content_hash in hit_hashes,
+                stats=stats_by_hash.get(job.content_hash),
             )
             for job in jobs
         ]
@@ -182,7 +249,7 @@ class Executor:
     def _execute_many(
         self,
         jobs: List[Job],
-        on_executed: Callable[[Job, Dict[str, Any]], None],
+        on_executed: Callable[..., None],
     ) -> None:
         raise NotImplementedError
 
@@ -197,10 +264,31 @@ class SerialExecutor(Executor):
     def _execute_many(
         self,
         jobs: List[Job],
-        on_executed: Callable[[Job, Dict[str, Any]], None],
+        on_executed: Callable[..., None],
     ) -> None:
         for job in jobs:
-            on_executed(job, execute_job(job))
+            payload, stats = execute_job_with_stats(job)
+            on_executed(job, payload, stats)
+
+
+def _pool_execute(job: Job, collect_metrics: bool):
+    """Worker-side task: run one job, optionally under a fresh metrics scope.
+
+    When the parent has telemetry enabled, the job runs inside
+    ``obs.scoped()`` -- a fresh registry (so per-job counters do not double
+    count across jobs sharing a worker) that inherits the parent's sinks and
+    trace flag via fork, letting worker trace events reach the same
+    append-mode JSONL file.  The registry snapshot travels back with the
+    result and is merged into the parent registry, which is how worker-side
+    metrics aggregate across ``run()`` calls.
+    """
+    if not collect_metrics:
+        payload, stats = execute_job_with_stats(job)
+        return payload, stats, None
+    with obs_state.scoped() as scope:
+        payload, stats = execute_job_with_stats(job)
+        snapshot = scope.registry.snapshot()
+    return payload, stats, snapshot
 
 
 def _worker_count(requested: Optional[int]) -> int:
@@ -243,6 +331,7 @@ class ParallelExecutor(Executor):
     # ------------------------------------------------------------------
     def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:
+            obs_state.counter("executor.pool_starts").inc()
             self._pool = ProcessPoolExecutor(
                 max_workers=self.max_workers, mp_context=self._mp_context
             )
@@ -270,26 +359,39 @@ class ParallelExecutor(Executor):
     def _execute_many(
         self,
         jobs: List[Job],
-        on_executed: Callable[[Job, Dict[str, Any]], None],
+        on_executed: Callable[..., None],
     ) -> None:
         if self.max_workers == 1 or (len(jobs) == 1 and self._pool is None):
             # A pool would only add fork/teardown overhead; once a warm pool
             # exists, even single-job batches go through it.
             for job in jobs:
-                on_executed(job, execute_job(job))
+                payload, stats = execute_job_with_stats(job)
+                on_executed(job, payload, stats)
             return
+        collect_metrics = obs_state.enabled()
+        if self._pool is not None and collect_metrics:
+            obs_state.counter("executor.pool_reuse").inc()
         pool = self._ensure_pool()
+        queue_gauge = obs_state.gauge("executor.queue_depth")
+        in_flight_gauge = obs_state.gauge("executor.in_flight")
+        obs_state.gauge("executor.workers").set(self.max_workers)
         queue = deque(jobs)
         in_flight = {}
         try:
             while queue or in_flight:
                 while queue and len(in_flight) < self.max_pending:
                     job = queue.popleft()
-                    in_flight[pool.submit(execute_job, job)] = job
+                    in_flight[pool.submit(_pool_execute, job, collect_metrics)] = job
+                queue_gauge.set(len(queue))
+                in_flight_gauge.set(len(in_flight))
                 done, _ = wait(set(in_flight), return_when=FIRST_COMPLETED)
                 for future in done:
                     job = in_flight.pop(future)
-                    on_executed(job, future.result())
+                    payload, stats, worker_snapshot = future.result()
+                    if worker_snapshot is not None:
+                        obs_state.merge_snapshot(worker_snapshot)
+                    on_executed(job, payload, stats)
+            in_flight_gauge.set(0)
         except BrokenProcessPool:
             # A dead worker poisons the whole pool; drop it so the next
             # run() starts fresh instead of failing instantly forever.

@@ -37,6 +37,8 @@ from functools import lru_cache
 from typing import Any, Callable, ClassVar, Dict, List, Optional, Tuple, Union
 
 from repro import config
+from repro.obs import state as obs_state
+from repro.obs.spans import span as _span
 # Re-exported for compatibility: these helpers historically lived here and the
 # scenario registry (among others) imports them from this module.
 from repro.hashing import canonical_json, content_hash
@@ -55,7 +57,7 @@ from repro.perf.counters import CounterName, CounterSample
 from repro.sim.engine import SimulationConfig, SimulationEngine
 from repro.sim.platform import Platform
 from repro.sim.policy import Policy
-from repro.sim.result import SimulationResult
+from repro.sim.result import EngineRunStats, SimulationResult
 from repro.workloads.batterylife import battery_life_workload
 from repro.workloads.corpus import CorpusGenerator
 from repro.workloads.graphics import graphics_workload
@@ -581,12 +583,22 @@ class DegradationMeasurement:
         return cls(degradation=payload["degradation"], counters=CounterSample(values=values))
 
 
-def execute_job(job: Job) -> Dict[str, Any]:
-    """Run one job in this process and return its JSON-serializable payload.
+def execute_job_with_stats(
+    job: Job,
+) -> Tuple[Dict[str, Any], Optional[EngineRunStats]]:
+    """Run one job and return ``(payload, engine_stats)``.
 
     This is the single execution path shared by :class:`SerialExecutor` and the
     worker processes of :class:`ParallelExecutor`, which is what makes their
     results bit-identical.
+
+    The engine's per-run loop statistics (``last_run_stats``) travel *next to*
+    the payload, never inside it: cached payloads stay byte-identical whether
+    or not anyone was watching.  Degradation jobs run the calibrator rather
+    than one engine pass, so their stats slot is ``None``.  When ambient
+    telemetry is enabled, the run is wrapped in an ``execute_job`` span,
+    engine counters accumulate into the active registry, and any recorded
+    segment trace is emitted to the active sinks.
     """
     platform = platform_for(job.platform)
     if isinstance(job, SimulationJob):
@@ -594,8 +606,26 @@ def execute_job(job: Job) -> Dict[str, Any]:
         peripherals = (
             STANDARD_CONFIGURATIONS[job.peripherals] if job.peripherals else None
         )
-        result = engine.run(job.trace.build(), job.policy.build(platform), peripherals)
-        return result.to_dict()
+        with _span("execute_job", kind=job.kind, job=job.label):
+            result = engine.run(
+                job.trace.build(), job.policy.build(platform), peripherals
+            )
+        stats = engine.last_run_stats
+        if obs_state.enabled():
+            if stats is not None:
+                obs_state.counter("engine.runs").inc()
+                obs_state.counter("engine.ticks").inc(stats.ticks)
+                obs_state.counter("engine.segments").inc(stats.segments)
+                obs_state.counter("engine.model_evaluations").inc(
+                    stats.model_evaluations
+                )
+                obs_state.counter("engine.memo_hits").inc(stats.memo_hits)
+                obs_state.counter("engine.transitions").inc(stats.transitions)
+            trace = engine.last_run_trace
+            if trace is not None:
+                for event in trace.events(job_hash=job.content_hash):
+                    obs_state.emit(event)
+        return result.to_dict(), stats
     if isinstance(job, DegradationJob):
         high = job.high.to_point("high")
         low = job.low.to_point("low")
@@ -604,12 +634,19 @@ def execute_job(job: Job) -> Dict[str, Any]:
             operating_points=OperatingPointTable(points=[high, low]),
         )
         trace = job.trace.build()
-        counters = calibrator.measure_counters(trace)
-        return {
-            "degradation": calibrator.measure_degradation(trace, high, low),
-            "counters": {name.value: counters[name] for name in CounterName},
-        }
+        with _span("execute_job", kind=job.kind, job=job.label):
+            counters = calibrator.measure_counters(trace)
+            payload = {
+                "degradation": calibrator.measure_degradation(trace, high, low),
+                "counters": {name.value: counters[name] for name in CounterName},
+            }
+        return payload, None
     raise TypeError(f"cannot execute {type(job).__name__}")
+
+
+def execute_job(job: Job) -> Dict[str, Any]:
+    """Run one job in this process and return its JSON-serializable payload."""
+    return execute_job_with_stats(job)[0]
 
 
 def decode_result(job: Job, payload: Dict[str, Any]):

@@ -45,6 +45,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro import config
+from repro.obs import state as obs_state
+from repro.obs.trace import EngineTraceRecorder
 from repro.perf.counters import CounterName, CounterSample
 from repro.power.budget import ComputePlan
 from repro.power.cstates import CState, IDLE_PACKAGE_POWER
@@ -65,6 +67,15 @@ class SimulationConfig:
     every tick) instead of the segment-stepping loop.  Both produce
     bit-identical results; the reference loop exists as the parity arbiter and
     the baseline the ``repro bench`` harness measures speedups against.
+
+    ``trace_segments`` attaches an :class:`~repro.obs.trace.EngineTraceRecorder`
+    to each run (exposed as ``engine.last_run_trace``) capturing the
+    per-segment timeline.  Tracing is pure observation -- results are
+    bit-identical either way -- and is deliberately *not* part of
+    ``SimSpec``/job hashing: telemetry never contributes to job identity.
+    The recorder is also attached when ambient tracing is on
+    (``obs.enable(trace_segments=True)``), so the CLI's ``--trace-out`` works
+    without touching job specs.
     """
 
     tick: float = config.COUNTER_SAMPLING_INTERVAL
@@ -72,6 +83,7 @@ class SimulationConfig:
     max_simulated_time: float = 120.0
     record_bandwidth_samples: bool = False
     reference_loop: bool = False
+    trace_segments: bool = False
 
     def __post_init__(self) -> None:
         if self.tick <= 0:
@@ -201,6 +213,11 @@ class SimulationEngine:
         #: Loop statistics of the most recent :meth:`run` (diagnostics and the
         #: bench harness; not part of the simulation result).
         self.last_run_stats: Optional[EngineRunStats] = None
+        #: Segment timeline of the most recent :meth:`run` when tracing was
+        #: requested (``trace_segments`` or ambient obs tracing); ``None``
+        #: otherwise.  Only the segment loop records -- a reference-loop run
+        #: leaves the recorder empty.
+        self.last_run_trace: Optional[EngineTraceRecorder] = None
 
     # ------------------------------------------------------------------
     # Public API
@@ -227,10 +244,15 @@ class SimulationEngine:
         self._apply_mrc(action)
         run = _RunState()
 
+        recorder: Optional[EngineTraceRecorder] = None
+        if self.config.trace_segments or obs_state.trace_enabled():
+            recorder = EngineTraceRecorder(workload=trace.name, policy=policy.name)
+        self.last_run_trace = recorder
+
         if self.config.reference_loop:
             self._run_reference(trace, policy, static_demand, run, action)
         else:
-            self._run_segments(trace, policy, static_demand, run, action)
+            self._run_segments(trace, policy, static_demand, run, action, recorder)
         return self._build_result(trace, policy, run)
 
     # ------------------------------------------------------------------
@@ -243,6 +265,7 @@ class SimulationEngine:
         static_demand: StaticDemandInfo,
         run: _RunState,
         action: PolicyAction,
+        recorder: Optional[EngineTraceRecorder] = None,
     ) -> None:
         sim = self.config
         tick = sim.tick
@@ -284,13 +307,15 @@ class SimulationEngine:
                 phase_keys[phase_id] = phase_key
             key = (phase_key, _action_key(action), id(mrc_registers.loaded))
             segment = memo.get(key)
-            if segment is None:
+            memo_hit = segment is not None
+            if memo_hit:
+                memo_hits += 1
+            else:
                 segment = self._evaluate_segment(trace, phase, action)
                 memo[key] = segment
                 model_evaluations += 1
-            else:
-                memo_hits += 1
             segments += 1
+            segment_start = time_now
 
             inc_compute, inc_io, inc_memory, inc_platform = segment.energy_ticks
             value_0, value_1, value_2, value_3 = segment.counter_values
@@ -331,6 +356,15 @@ class SimulationEngine:
                     break
 
             ticks_total += ticks
+            if recorder is not None:
+                recorder.record_segment(
+                    time=segment_start,
+                    ticks=ticks,
+                    tick=tick,
+                    phase=phase.name,
+                    memo_hit=memo_hit,
+                    segment=segment,
+                )
             if record_bandwidth:
                 run.bandwidth_samples.extend([segment.bandwidth] * ticks)
             if phase_done:
@@ -359,6 +393,13 @@ class SimulationEngine:
                     latency = new_action.transition_latency
                     run.transitions += 1
                     run.transition_time += latency
+                    if recorder is not None:
+                        recorder.record_transition(
+                            time=time_now,
+                            latency=latency,
+                            from_dram_frequency=action.dram_frequency,
+                            to_dram_frequency=new_action.dram_frequency,
+                        )
                     time_now += latency
                     # Computed fresh, not memoized: the policy's decide() may
                     # already have reloaded the live MRC registers (SysScale

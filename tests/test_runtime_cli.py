@@ -229,8 +229,9 @@ class TestBench:
     def test_quick_bench_writes_document_and_passes_checks(self, tmp_path, capsys):
         """`repro bench --quick` is the CI smoke: exit 0 means every
         bit-identity check (fast vs. reference, cold vs. warm cache, serial
-        vs. parallel) held, and the document records the speedup."""
-        out = tmp_path / "BENCH_5.json"
+        vs. parallel, telemetry on vs. off) held, and the document records the
+        speedup."""
+        out = tmp_path / "BENCH_6.json"
         assert main(["bench", "--quick", "--jobs", "2", "--out", str(out)]) == 0
         captured = capsys.readouterr()
         assert "all checks passed" in captured.out
@@ -241,6 +242,9 @@ class TestBench:
         assert document["results"]["engine"]["speedup"] >= 5.0
         assert document["results"]["engine"]["bit_identical"] is True
         assert document["results"]["jobs_serial"]["warm_executed"] == 0
+        telemetry = document["results"]["engine_telemetry"]
+        assert telemetry["bit_identical"] is True
+        assert telemetry["trace_segments"] > 0
 
     def test_bench_rejects_bad_jobs(self, capsys):
         assert main(["bench", "--quick", "--jobs", "0"]) == 2

@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Reject bare ``print()`` calls in ``src/repro``.
+
+All user-facing text must go through :class:`repro.obs.logging.Console`, which
+enforces the CLI output contract (primary output vs. decorations vs.
+diagnostics).  This walks every module's AST -- so ``print(`` inside docstrings
+and comments does not trip it -- and fails the build when a new call sneaks in.
+
+Usage: ``python tools/lint_prints.py [ROOT]`` (default root: ``src/repro``).
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+#: Files allowed to write to stdout/stderr directly.  The Console *is* the
+#: rendering layer, so it is the one justified user of the raw streams.
+WHITELIST = {
+    "src/repro/obs/logging.py",
+}
+
+
+def find_prints(path: Path) -> list:
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    offenders = []
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "print"
+        ):
+            offenders.append(node.lineno)
+    return offenders
+
+
+def main(argv: list) -> int:
+    root = Path(argv[1]) if len(argv) > 1 else Path("src/repro")
+    failures = 0
+    for path in sorted(root.rglob("*.py")):
+        relative = path.as_posix()
+        if relative in WHITELIST:
+            continue
+        for lineno in find_prints(path):
+            print(f"{relative}:{lineno}: bare print() -- use repro.obs Console")
+            failures += 1
+    if failures:
+        print(f"{failures} bare print call(s); see repro/obs/logging.py")
+        return 1
+    print(f"lint_prints: OK ({root})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))
