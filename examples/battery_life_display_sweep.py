@@ -18,8 +18,11 @@ Run with::
 from __future__ import annotations
 
 from repro.api import Session
+from repro.obs import Console
 from repro.workloads import battery_life_workload
 from repro.workloads.io_devices import STANDARD_CONFIGURATIONS
+
+ui = Console()
 
 CONFIGURATIONS = ("no_display", "single_hd", "single_fhd", "triple_hd", "single_4k")
 
@@ -27,13 +30,13 @@ WORKLOAD = "video_playback"
 
 
 def main() -> None:
-    print("Building the session ...")
+    ui.out("Building the session ...")
     session = Session()
     trace = battery_life_workload(WORKLOAD)
 
-    print(f"\nWorkload: {trace.name} ({trace.description})")
-    print(f"{'configuration':15s} {'static BW':>10s} {'baseline':>9s} {'SysScale':>9s} "
-          f"{'saving':>8s} {'low residency':>14s}")
+    ui.out(f"\nWorkload: {trace.name} ({trace.description})")
+    ui.out(f"{'configuration':15s} {'static BW':>10s} {'baseline':>9s} {'SysScale':>9s} "
+           f"{'saving':>8s} {'low residency':>14s}")
     for name in CONFIGURATIONS:
         peripherals = STANDARD_CONFIGURATIONS[name]
         baseline = session.simulate(
@@ -43,18 +46,18 @@ def main() -> None:
             "battery_life", "sysscale", name=WORKLOAD, peripherals=name
         )
         saving = sysscale.power_reduction_vs(baseline)
-        print(
+        ui.out(
             f"{name:15s} {peripherals.static_bandwidth_demand / 1e9:8.1f}GB {baseline.average_power:8.2f}W "
             f"{sysscale.average_power:8.2f}W {saving:8.1%} {sysscale.low_point_residency:13.0%}"
         )
 
-    print(
+    ui.out(
         "\nWith a single HD panel the static demand stays below the threshold and the\n"
         "low operating point is held for most of the run (the Fig. 9 scenario); a 4K\n"
         "panel's scanout bandwidth forces the high operating point and the savings\n"
         "disappear -- demand misprediction would otherwise break the display's QoS."
     )
-    print(f"\nruntime: {session.summary()}")
+    ui.out(f"\nruntime: {session.summary()}")
 
 
 if __name__ == "__main__":

@@ -27,7 +27,10 @@ import argparse
 
 from repro.api import Session
 from repro.experiments import format_table
+from repro.obs import Console
 from repro.runtime.cache import default_cache_dir
+
+ui = Console()
 
 PAPER_NUMBERS = {
     "fig7": {"memscale_redist": 0.017, "coscale_redist": 0.038, "sysscale": 0.092},
@@ -53,7 +56,7 @@ def main() -> None:
     parser.add_argument("--no-cache", action="store_true", help="disable the result cache")
     args = parser.parse_args()
 
-    print("Building the session (platform + threshold calibration) ...")
+    ui.out("Building the session (platform + threshold calibration) ...")
     session = Session(
         jobs=args.jobs,
         cache_dir=args.cache_dir,
@@ -62,36 +65,36 @@ def main() -> None:
     )
 
     # ---- Fig. 7: SPEC CPU2006 ------------------------------------------------
-    print("\nRunning the SPEC CPU2006 evaluation (Fig. 7) ...")
+    ui.out("\nRunning the SPEC CPU2006 evaluation (Fig. 7) ...")
     fig7 = session.run("fig7", quick=args.quick)
-    print(format_table(fig7["rows"], ["workload", "memscale_redist", "coscale_redist", "sysscale"]))
-    print("averages (measured vs. paper):")
+    ui.out(format_table(fig7["rows"], ["workload", "memscale_redist", "coscale_redist", "sysscale"]))
+    ui.out("averages (measured vs. paper):")
     for technique, paper_value in PAPER_NUMBERS["fig7"].items():
-        print(f"  {technique:16s} {fig7['average'][technique]:6.1%}   (paper {paper_value:.1%})")
+        ui.out(f"  {technique:16s} {fig7['average'][technique]:6.1%}   (paper {paper_value:.1%})")
 
     # ---- Fig. 8: 3DMark --------------------------------------------------------
-    print("\nRunning the 3DMark evaluation (Fig. 8) ...")
+    ui.out("\nRunning the 3DMark evaluation (Fig. 8) ...")
     fig8 = session.run("fig8")
-    print(format_table(fig8["rows"], ["workload", "memscale_redist", "coscale_redist", "sysscale"]))
+    ui.out(format_table(fig8["rows"], ["workload", "memscale_redist", "coscale_redist", "sysscale"]))
     for row in fig8["rows"]:
         paper_value = PAPER_NUMBERS["fig8"][row["workload"]]
-        print(f"  {row['workload']:16s} {row['sysscale']:6.1%}   (paper {paper_value:.1%})")
+        ui.out(f"  {row['workload']:16s} {row['sysscale']:6.1%}   (paper {paper_value:.1%})")
 
     # ---- Fig. 9: battery life --------------------------------------------------
-    print("\nRunning the battery-life evaluation (Fig. 9) ...")
+    ui.out("\nRunning the battery-life evaluation (Fig. 9) ...")
     fig9 = session.run("fig9")
-    print(format_table(
+    ui.out(format_table(
         fig9["rows"],
         ["workload", "baseline_power_w", "memscale_redist", "coscale_redist", "sysscale"],
     ))
     for row in fig9["rows"]:
         paper_value = PAPER_NUMBERS["fig9"][row["workload"]]
-        print(f"  {row['workload']:20s} {row['sysscale']:6.1%}   (paper {paper_value:.1%})")
+        ui.out(f"  {row['workload']:20s} {row['sysscale']:6.1%}   (paper {paper_value:.1%})")
 
     # ---- Runtime accounting ----------------------------------------------------
-    print(f"\nruntime: {session.summary()}")
+    ui.out(f"\nruntime: {session.summary()}")
     if session.runtime.cache is not None:
-        print(f"cache: {session.runtime.cache.root} ({len(session.runtime.cache)} entries)")
+        ui.out(f"cache: {session.runtime.cache.root} ({len(session.runtime.cache)} entries)")
 
 
 if __name__ == "__main__":

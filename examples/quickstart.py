@@ -15,7 +15,10 @@ Run with::
 from __future__ import annotations
 
 from repro.api import Session
+from repro.obs import Console
 from repro.workloads import spec_workload
+
+ui = Console()
 
 
 def run_one(session: Session, name: str) -> None:
@@ -24,25 +27,25 @@ def run_one(session: Session, name: str) -> None:
     sysscale = session.simulate("spec", "sysscale", name=name, duration=1.0)
 
     improvement = sysscale.performance_improvement_over(baseline)
-    print(f"\n{name}")
-    print(f"  CPU frequency scalability      : {trace.cpu_frequency_scalability:.2f}")
-    print(f"  average bandwidth demand       : {trace.average_bandwidth_demand / 1e9:.1f} GB/s")
-    print(f"  baseline  : {baseline.execution_time * 1e3:7.1f} ms at "
-          f"{baseline.average_cpu_frequency / 1e9:.2f} GHz, {baseline.average_power:.2f} W")
-    print(f"  SysScale  : {sysscale.execution_time * 1e3:7.1f} ms at "
-          f"{sysscale.average_cpu_frequency / 1e9:.2f} GHz, {sysscale.average_power:.2f} W")
-    print(f"  low operating-point residency  : {sysscale.low_point_residency:.0%}")
-    print(f"  DVFS transitions               : {sysscale.transitions}")
-    print(f"  performance improvement        : {improvement:+.1%}")
+    ui.out(f"\n{name}")
+    ui.out(f"  CPU frequency scalability      : {trace.cpu_frequency_scalability:.2f}")
+    ui.out(f"  average bandwidth demand       : {trace.average_bandwidth_demand / 1e9:.1f} GB/s")
+    ui.out(f"  baseline  : {baseline.execution_time * 1e3:7.1f} ms at "
+           f"{baseline.average_cpu_frequency / 1e9:.2f} GHz, {baseline.average_power:.2f} W")
+    ui.out(f"  SysScale  : {sysscale.execution_time * 1e3:7.1f} ms at "
+           f"{sysscale.average_cpu_frequency / 1e9:.2f} GHz, {sysscale.average_power:.2f} W")
+    ui.out(f"  low operating-point residency  : {sysscale.low_point_residency:.0%}")
+    ui.out(f"  DVFS transitions               : {sysscale.transitions}")
+    ui.out(f"  performance improvement        : {improvement:+.1%}")
 
 
 def main() -> None:
-    print("Building the session (Table 2 platform at 4.5 W TDP, cached runtime) ...")
+    ui.out("Building the session (Table 2 platform at 4.5 W TDP, cached runtime) ...")
     session = Session(tdp=4.5)
 
-    print("Calibrated demand-prediction thresholds (Sec. 4.2):")
+    ui.out("Calibrated demand-prediction thresholds (Sec. 4.2):")
     for counter, value in session.context.thresholds.as_dict().items():
-        print(f"  {counter:35s} {value:.3f}")
+        ui.out(f"  {counter:35s} {value:.3f}")
 
     # A highly scalable workload: SysScale drops the IO/memory domains to the low
     # operating point and hands the freed budget to the CPU cores.
@@ -53,7 +56,7 @@ def main() -> None:
     # A phase-varying workload: SysScale tracks the phases (Sec. 7.1, 473.astar).
     run_one(session, "473.astar")
 
-    print(f"\nruntime: {session.summary()}")
+    ui.out(f"\nruntime: {session.summary()}")
 
 
 if __name__ == "__main__":

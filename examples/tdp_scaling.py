@@ -19,6 +19,9 @@ Run with::
 from __future__ import annotations
 
 from repro.api import Session
+from repro.obs import Console
+
+ui = Console()
 
 SUBSET = (
     "400.perlbench", "416.gamess", "429.mcf", "433.milc", "436.cactusADM",
@@ -30,26 +33,26 @@ PAPER_AVERAGES = {3.5: 0.191, 4.5: 0.092}
 
 
 def main() -> None:
-    print("Sweeping TDP points (a fresh platform and calibration per point) ...")
+    ui.out("Sweeping TDP points (a fresh platform and calibration per point) ...")
     session = Session(duration=0.5)
     result = session.run("fig10", subset=SUBSET)
 
-    print(f"\n{'TDP':>6s} {'average':>9s} {'median':>9s} {'max':>9s}   paper")
+    ui.out(f"\n{'TDP':>6s} {'average':>9s} {'median':>9s} {'max':>9s}   paper")
     for row in result["rows"]:
         paper = PAPER_AVERAGES.get(row["tdp_w"])
         paper_text = f"avg {paper:.1%}" if paper is not None else "-"
-        print(
+        ui.out(
             f"{row['tdp_w']:5.1f}W {row['average']:9.1%} {row['median']:9.1%} "
             f"{row['max']:9.1%}   {paper_text}"
         )
 
-    print(
+    ui.out(
         "\nAs the TDP grows, power stops being the constraint on the compute domain\n"
         "and redistributing the IO/memory budget buys less frequency, so SysScale's\n"
         "performance benefit fades -- while its battery-life savings are TDP\n"
         "independent (Sec. 7.4)."
     )
-    print(f"\nruntime: {session.summary()}")
+    ui.out(f"\nruntime: {session.summary()}")
 
 
 if __name__ == "__main__":

@@ -14,6 +14,10 @@ accounting):
   set, per-domain power, memo hit/miss).
 * **sinks** -- :class:`JsonlSink` event files, :class:`MemorySink` for
   tests, text renderers for ``--profile`` and ``trace describe``.
+* **analysis** (:mod:`repro.obs.analysis`) -- the read side: typed trace
+  models, ``trace diff`` attribution deltas, Chrome ``trace_event`` export,
+  the :class:`MetricsSampler` time-series poller (``--sample-interval``),
+  and BENCH_*.json regression comparison (``bench compare``).
 
 Everything is scoped through :func:`scoped`, which is how worker processes
 isolate per-job metrics and merge them back to the parent.  Telemetry is
@@ -72,9 +76,11 @@ from repro.obs.trace import (
     summarize_trace_events,
 )
 from repro.obs.logging import Console
+from repro.obs.analysis.sampler import MetricsSampler
 
 __all__ = [
     "Console",
+    "MetricsSampler",
     "Counter",
     "EngineTraceRecorder",
     "Gauge",

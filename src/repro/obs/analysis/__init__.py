@@ -1,0 +1,77 @@
+"""``repro.obs.analysis``: the read side of the telemetry layer.
+
+PR 6 made the stack *emit* telemetry; this package *consumes* it:
+
+* **model** -- :class:`TraceModel` parses a ``--trace-out`` JSONL stream back
+  into typed engine runs, segments (with their :class:`OperatingPoint`),
+  spans, logs, and time-series samples.
+* **diff** -- :func:`diff_traces` aligns two traces by ``(workload, policy,
+  phase, operating point)`` attribution buckets and reports where segment
+  time, model evaluations, and memo misses moved (``repro trace diff``).
+* **chrome** -- :func:`export_chrome_trace` renders the span waterfall and
+  the simulated-time segment timeline as Chrome/Perfetto ``trace_event``
+  JSON (``repro trace export --chrome``).
+* **sampler** -- :class:`MetricsSampler` polls the live registry on a cadence
+  and emits ``timeseries.sample`` events (``--sample-interval``), giving the
+  ROADMAP autoscaler its sustained-load windows.
+* **benchdiff** -- :func:`compare_documents` gates a fresh BENCH_*.json
+  against a committed baseline with Converge-style percentile-derived
+  budgets and strict identity flags (``repro bench compare``).
+
+Everything here is read-only over recorded events and live instruments:
+analysis can never perturb simulation results.
+"""
+
+from repro.obs.analysis.benchdiff import (
+    BenchComparison,
+    MetricVerdict,
+    compare_documents,
+    derive_budget,
+    load_bench_document,
+    relative_spread,
+    render_comparison_text,
+)
+from repro.obs.analysis.chrome import chrome_trace_events, export_chrome_trace
+from repro.obs.analysis.diff import (
+    AttributionBucket,
+    DiffRow,
+    TraceDiff,
+    attribution,
+    diff_traces,
+    render_diff_text,
+)
+from repro.obs.analysis.model import (
+    EngineRun,
+    OperatingPoint,
+    TraceModel,
+    TraceSegment,
+    TraceTransition,
+    load_trace,
+)
+from repro.obs.analysis.sampler import MetricsSampler, summarize_timeseries
+
+__all__ = [
+    "AttributionBucket",
+    "BenchComparison",
+    "DiffRow",
+    "EngineRun",
+    "MetricVerdict",
+    "MetricsSampler",
+    "OperatingPoint",
+    "TraceDiff",
+    "TraceModel",
+    "TraceSegment",
+    "TraceTransition",
+    "attribution",
+    "chrome_trace_events",
+    "compare_documents",
+    "derive_budget",
+    "diff_traces",
+    "export_chrome_trace",
+    "load_bench_document",
+    "load_trace",
+    "relative_spread",
+    "render_comparison_text",
+    "render_diff_text",
+    "summarize_timeseries",
+]

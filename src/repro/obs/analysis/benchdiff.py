@@ -1,0 +1,352 @@
+"""BENCH_*.json history comparison with per-metric regression budgets.
+
+``repro bench compare BASELINE [CURRENT]`` turns the bench documents PRs
+leave behind into an actual regression gate.  The old gate was one
+hard-coded floor (engine speedup >= 5x) buried in ``runtime/bench.py``;
+this module gates *every* headline metric, each with its own budget, and
+prints a readable table of what moved.
+
+Budgets are derived Converge-style -- percentile analysis with explicit
+floors -- instead of one-size-fits-all tolerances:
+
+* **Timing-derived metrics** (speedups, ticks/sec, jobs/sec) are noisy, so
+  their allowed regression is computed from the *measured* noise: the bench
+  harness records every repetition's wall time (``*_samples``), and the
+  budget is ``max(NOISE_SCALE x observed relative spread, floor)`` where the
+  spread is ``p90(samples) / min(samples) - 1`` on whichever side is
+  noisier.  A machine with jittery timers automatically gets the slack its
+  own measurements justify; a quiet machine is held to the floor.
+* **Bit-identity flags and check booleans** get strict equality: a parity
+  or determinism bit flipping is a failure no matter how small the timing
+  deltas are.
+* **Hard floors** apply regardless of history: the engine speedup must stay
+  above :data:`~repro.runtime.bench.MIN_ENGINE_SPEEDUP` even against a
+  slower baseline.
+
+A ``--quick`` document measures far less work than a full one, so relative
+throughput comparison across modes would be noise; on a mode mismatch the
+comparison degrades (loudly) to hard floors and strict flags only.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "BenchComparison",
+    "MetricVerdict",
+    "compare_documents",
+    "load_bench_document",
+    "render_comparison_text",
+]
+
+#: Multiplier on the observed p90 relative spread when deriving a budget.
+NOISE_SCALE = 3.0
+
+#: Minimum allowed-regression fraction for timing-derived metrics (the
+#: Converge-style floor under the percentile term).
+DEFAULT_REL_FLOOR = 0.35
+
+#: Metrics gated by an absolute floor regardless of the baseline value.
+HARD_FLOORS: Dict[str, float] = {
+    "results.engine.speedup": 5.0,
+    "results.engine_markov.speedup": 5.0,
+}
+
+#: Higher-is-better timing metrics compared under derived budgets, as
+#: ``(metric path, sibling samples field used to derive the noise budget)``.
+#: ``None`` means no per-repetition samples exist for that metric.
+TIMING_METRICS: Sequence[Tuple[str, Optional[str]]] = (
+    ("results.engine.speedup", "results.engine.fast_samples"),
+    ("results.engine.fast_ticks_per_second", "results.engine.fast_samples"),
+    ("results.engine_markov.speedup", "results.engine_markov.fast_samples"),
+    (
+        "results.engine_markov.fast_ticks_per_second",
+        "results.engine_markov.fast_samples",
+    ),
+    ("results.jobs_serial.cold_jobs_per_second", None),
+    ("results.jobs_serial.warm_jobs_per_second", None),
+    ("results.jobs_parallel.cold_jobs_per_second", None),
+    ("results.jobs_parallel.pool_reuse_jobs_per_second", None),
+)
+
+#: Boolean fields that must be ``True`` in the *current* document.
+STRICT_FLAGS: Sequence[str] = (
+    "results.engine.bit_identical",
+    "results.engine_markov.bit_identical",
+    "results.engine_telemetry.bit_identical",
+    "results.jobs_serial.bit_identical",
+    "results.jobs_parallel.bit_identical",
+)
+
+
+def load_bench_document(path: Union[str, Path]) -> Dict[str, Any]:
+    """Read one BENCH_*.json document, validating the envelope."""
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    if not isinstance(document, dict) or "results" not in document:
+        raise ValueError(f"{path}: not a bench document (no 'results' key)")
+    return document
+
+
+def _lookup(document: Dict[str, Any], path: str) -> Any:
+    node: Any = document
+    for part in path.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return node
+
+
+def _percentile(values: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile (the Converge calibration convention)."""
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def relative_spread(samples: Sequence[float]) -> float:
+    """``p90 / min - 1``: how much worse a plausible-bad repeat is than best."""
+    cleaned = [float(value) for value in samples if value > 0]
+    if len(cleaned) < 2:
+        return 0.0
+    return _percentile(cleaned, 0.90) / min(cleaned) - 1.0
+
+
+def derive_budget(
+    baseline_samples: Optional[Sequence[float]],
+    current_samples: Optional[Sequence[float]],
+    rel_floor: float = DEFAULT_REL_FLOOR,
+    noise_scale: float = NOISE_SCALE,
+) -> Tuple[float, str]:
+    """The allowed-regression fraction and a provenance tag.
+
+    ``max(noise_scale x spread, rel_floor)`` with the spread taken from the
+    noisier side's recorded repetitions; documents without samples fall back
+    to the floor alone.
+    """
+    spreads = [
+        relative_spread(samples)
+        for samples in (baseline_samples, current_samples)
+        if samples
+    ]
+    if not spreads:
+        return rel_floor, "floor"
+    derived = noise_scale * max(spreads)
+    if derived > rel_floor:
+        return derived, f"noise p90 ({max(spreads) * 100:.1f}% spread x {noise_scale:g})"
+    return rel_floor, "floor"
+
+
+@dataclass
+class MetricVerdict:
+    """One compared metric: values, budget, and pass/fail."""
+
+    metric: str
+    kind: str  # "timing" | "floor" | "flag" | "info"
+    baseline: Any
+    current: Any
+    delta_fraction: Optional[float] = None
+    budget_fraction: Optional[float] = None
+    budget_source: str = ""
+    ok: bool = True
+    note: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "metric": self.metric,
+            "kind": self.kind,
+            "baseline": self.baseline,
+            "current": self.current,
+            "delta_fraction": self.delta_fraction,
+            "budget_fraction": self.budget_fraction,
+            "budget_source": self.budget_source,
+            "ok": self.ok,
+            "note": self.note,
+        }
+
+
+@dataclass
+class BenchComparison:
+    """The full comparison: verdict rows plus the headline result."""
+
+    baseline_label: str
+    current_label: str
+    mode_mismatch: bool
+    verdicts: List[MetricVerdict] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(verdict.ok for verdict in self.verdicts)
+
+    @property
+    def regressions(self) -> List[MetricVerdict]:
+        return [verdict for verdict in self.verdicts if not verdict.ok]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "ok": self.ok,
+            "baseline": self.baseline_label,
+            "current": self.current_label,
+            "mode_mismatch": self.mode_mismatch,
+            "regressions": len(self.regressions),
+            "verdicts": [verdict.to_dict() for verdict in self.verdicts],
+        }
+
+
+def compare_documents(
+    baseline: Dict[str, Any],
+    current: Dict[str, Any],
+    baseline_label: str = "baseline",
+    current_label: str = "current",
+    rel_floor: float = DEFAULT_REL_FLOOR,
+) -> BenchComparison:
+    """Gate ``current`` against ``baseline``; see the module docstring."""
+    mode_mismatch = bool(baseline.get("quick")) != bool(current.get("quick"))
+    comparison = BenchComparison(
+        baseline_label=baseline_label,
+        current_label=current_label,
+        mode_mismatch=mode_mismatch,
+    )
+    verdicts = comparison.verdicts
+
+    # --- strict booleans: current checks and identity flags ---------------
+    for name, value in sorted((current.get("checks") or {}).items()):
+        verdicts.append(
+            MetricVerdict(
+                metric=f"checks.{name}",
+                kind="flag",
+                baseline=(baseline.get("checks") or {}).get(name),
+                current=value,
+                ok=bool(value),
+                note="" if value else "current document failed its own check",
+            )
+        )
+    for path in STRICT_FLAGS:
+        value = _lookup(current, path)
+        if value is None:
+            continue
+        verdicts.append(
+            MetricVerdict(
+                metric=path,
+                kind="flag",
+                baseline=_lookup(baseline, path),
+                current=value,
+                ok=bool(value),
+                note="" if value else "bit-identity flag is False",
+            )
+        )
+
+    # --- hard floors (mode-independent) ------------------------------------
+    for path, floor in sorted(HARD_FLOORS.items()):
+        value = _lookup(current, path)
+        if value is None:
+            continue
+        ok = float(value) >= floor
+        verdicts.append(
+            MetricVerdict(
+                metric=path,
+                kind="floor",
+                baseline=_lookup(baseline, path),
+                current=value,
+                budget_source=f"absolute floor {floor:g}",
+                ok=ok,
+                note="" if ok else f"below the absolute floor of {floor:g}",
+            )
+        )
+
+    # --- relative budgets (same-mode only) ---------------------------------
+    for path, samples_path in TIMING_METRICS:
+        base_value = _lookup(baseline, path)
+        cur_value = _lookup(current, path)
+        if base_value is None or cur_value is None:
+            continue
+        if mode_mismatch:
+            verdicts.append(
+                MetricVerdict(
+                    metric=path,
+                    kind="info",
+                    baseline=base_value,
+                    current=cur_value,
+                    note="mode mismatch (quick vs full): floors only",
+                )
+            )
+            continue
+        base_value = float(base_value)
+        cur_value = float(cur_value)
+        budget, source = derive_budget(
+            _lookup(baseline, samples_path) if samples_path else None,
+            _lookup(current, samples_path) if samples_path else None,
+            rel_floor=rel_floor,
+        )
+        delta = (cur_value - base_value) / base_value if base_value else 0.0
+        regressed = delta < -budget
+        verdicts.append(
+            MetricVerdict(
+                metric=path,
+                kind="timing",
+                baseline=base_value,
+                current=cur_value,
+                delta_fraction=delta,
+                budget_fraction=budget,
+                budget_source=source,
+                ok=not regressed,
+                note=(
+                    f"regressed {-delta * 100:.1f}% (budget {budget * 100:.1f}%)"
+                    if regressed
+                    else ""
+                ),
+            )
+        )
+    return comparison
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, bool) or value is None:
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:,.4g}"
+    return str(value)
+
+
+def render_comparison_text(comparison: BenchComparison) -> str:
+    """The readable regression table (one row per gated metric)."""
+    lines = [
+        f"bench compare: {comparison.current_label} vs {comparison.baseline_label}"
+        + (" [mode mismatch: floors and flags only]" if comparison.mode_mismatch else "")
+    ]
+    lines.append(
+        f"  {'metric':52s} {'baseline':>12s} {'current':>12s} "
+        f"{'delta':>8s} {'budget':>8s}  verdict"
+    )
+    for verdict in comparison.verdicts:
+        delta = (
+            f"{verdict.delta_fraction * 100:+.1f}%"
+            if verdict.delta_fraction is not None
+            else "-"
+        )
+        budget = (
+            f"{verdict.budget_fraction * 100:.1f}%"
+            if verdict.budget_fraction is not None
+            else "-"
+        )
+        status = "ok" if verdict.ok else "REGRESSED"
+        if verdict.kind == "info":
+            status = "skipped"
+        detail = f" ({verdict.budget_source})" if verdict.budget_source else ""
+        if verdict.note and not verdict.ok:
+            detail = f" -- {verdict.note}"
+        lines.append(
+            f"  {verdict.metric:52s} {_format_value(verdict.baseline):>12s} "
+            f"{_format_value(verdict.current):>12s} {delta:>8s} {budget:>8s}  "
+            f"{status}{detail}"
+        )
+    if comparison.ok:
+        lines.append("  result: PASS (no metric exceeded its budget)")
+    else:
+        names = ", ".join(verdict.metric for verdict in comparison.regressions)
+        lines.append(f"  result: FAIL ({len(comparison.regressions)} regression(s): {names})")
+    return "\n".join(lines)

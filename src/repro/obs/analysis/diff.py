@@ -1,0 +1,259 @@
+"""Per-segment attribution diffs between two recorded traces.
+
+``repro trace diff A B`` answers the ROADMAP's question -- *where does
+segment time go, and where did it move?* -- by folding each trace's segments
+into attribution buckets keyed by ``(workload, policy, phase, operating
+point)``: the same key structure the engine's segment memo uses, minus
+anything order-dependent.  Two traces of the same campaign align bucket by
+bucket even when the runs executed in a different order (parallel workers,
+shuffled submission), because the key carries no timestamps and no job
+ordinals.
+
+Each bucket accumulates simulated seconds, ticks, segment count, model
+evaluations (memo *misses* -- the expensive part), memo hits, and energy by
+domain.  The diff subtracts A's buckets from B's, flags buckets present on
+only one side, and sorts by absolute simulated-time movement so the biggest
+shift tops the table.  Two traces of the same run produce all-zero deltas
+(``drift == False``) -- the acceptance check for recorder determinism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs.analysis.model import OperatingPoint, TraceModel
+
+__all__ = [
+    "AttributionBucket",
+    "DiffRow",
+    "TraceDiff",
+    "attribution",
+    "diff_traces",
+    "render_diff_text",
+]
+
+#: The accumulated quantities every bucket tracks (name -> zero).
+_BUCKET_FIELDS = (
+    "seconds",
+    "ticks",
+    "segments",
+    "model_evaluations",
+    "memo_hits",
+    "energy_j",
+)
+
+
+@dataclass
+class AttributionBucket:
+    """Aggregated cost of one ``(workload, policy, phase, point)`` key."""
+
+    workload: str
+    policy: str
+    phase: str
+    point: OperatingPoint
+    seconds: float = 0.0
+    ticks: int = 0
+    segments: int = 0
+    model_evaluations: int = 0
+    memo_hits: int = 0
+    energy_j: float = 0.0
+
+    @property
+    def key(self) -> Tuple[str, str, str, OperatingPoint]:
+        return (self.workload, self.policy, self.phase, self.point)
+
+    @property
+    def label(self) -> str:
+        prefix = f"{self.workload}/{self.policy}/" if self.workload else ""
+        return f"{prefix}{self.phase} @ {self.point.label}"
+
+    def values(self) -> Dict[str, float]:
+        return {name: getattr(self, name) for name in _BUCKET_FIELDS}
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "workload": self.workload,
+            "policy": self.policy,
+            "phase": self.phase,
+            "point": self.point.to_dict(),
+            **self.values(),
+        }
+
+
+def attribution(
+    model: TraceModel,
+) -> Dict[Tuple[str, str, str, OperatingPoint], AttributionBucket]:
+    """Fold a trace's segments into attribution buckets."""
+    buckets: Dict[Tuple[str, str, str, OperatingPoint], AttributionBucket] = {}
+    for run in model.runs:
+        for segment in run.segments:
+            key = (run.workload, run.policy, segment.phase, segment.point)
+            bucket = buckets.get(key)
+            if bucket is None:
+                bucket = buckets[key] = AttributionBucket(
+                    workload=run.workload,
+                    policy=run.policy,
+                    phase=segment.phase,
+                    point=segment.point,
+                )
+            bucket.seconds += segment.duration
+            bucket.ticks += segment.ticks
+            bucket.segments += 1
+            if segment.memo_hit:
+                bucket.memo_hits += 1
+            else:
+                bucket.model_evaluations += 1
+            bucket.energy_j += segment.total_power * segment.duration
+    return buckets
+
+
+@dataclass
+class DiffRow:
+    """One aligned bucket with its per-quantity deltas (B minus A)."""
+
+    label: str
+    status: str  # "both" | "only_a" | "only_b"
+    a: Optional[AttributionBucket]
+    b: Optional[AttributionBucket]
+    deltas: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def moved_seconds(self) -> float:
+        return self.deltas.get("seconds", 0.0)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "label": self.label,
+            "status": self.status,
+            "a": self.a.to_dict() if self.a else None,
+            "b": self.b.to_dict() if self.b else None,
+            "deltas": dict(self.deltas),
+        }
+
+
+@dataclass
+class TraceDiff:
+    """The aligned diff of two traces: rows plus totals and a drift verdict."""
+
+    rows: List[DiffRow]
+    totals_a: Dict[str, float]
+    totals_b: Dict[str, float]
+
+    @property
+    def drift(self) -> bool:
+        """True when anything moved: a nonzero delta or a one-sided bucket."""
+        return any(
+            row.status != "both" or any(row.deltas.values()) for row in self.rows
+        )
+
+    @property
+    def changed_rows(self) -> List[DiffRow]:
+        return [
+            row
+            for row in self.rows
+            if row.status != "both" or any(row.deltas.values())
+        ]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "drift": self.drift,
+            "buckets": len(self.rows),
+            "changed": len(self.changed_rows),
+            "totals_a": dict(self.totals_a),
+            "totals_b": dict(self.totals_b),
+            "totals_delta": {
+                name: self.totals_b[name] - self.totals_a[name]
+                for name in _BUCKET_FIELDS
+            },
+            "rows": [row.to_dict() for row in self.rows],
+        }
+
+
+def _totals(
+    buckets: Dict[Tuple[str, str, str, OperatingPoint], AttributionBucket],
+) -> Dict[str, float]:
+    totals = {name: 0.0 for name in _BUCKET_FIELDS}
+    for bucket in buckets.values():
+        for name in _BUCKET_FIELDS:
+            totals[name] += getattr(bucket, name)
+    return totals
+
+
+def diff_traces(a: TraceModel, b: TraceModel) -> TraceDiff:
+    """Attribution delta of trace ``b`` against baseline trace ``a``."""
+    buckets_a = attribution(a)
+    buckets_b = attribution(b)
+    rows: List[DiffRow] = []
+    for key in set(buckets_a) | set(buckets_b):
+        bucket_a = buckets_a.get(key)
+        bucket_b = buckets_b.get(key)
+        reference = bucket_b if bucket_b is not None else bucket_a
+        assert reference is not None
+        zeros = {name: 0.0 for name in _BUCKET_FIELDS}
+        values_a = bucket_a.values() if bucket_a else zeros
+        values_b = bucket_b.values() if bucket_b else zeros
+        rows.append(
+            DiffRow(
+                label=reference.label,
+                status=(
+                    "both"
+                    if bucket_a and bucket_b
+                    else ("only_a" if bucket_a else "only_b")
+                ),
+                a=bucket_a,
+                b=bucket_b,
+                deltas={
+                    name: values_b[name] - values_a[name] for name in _BUCKET_FIELDS
+                },
+            )
+        )
+    rows.sort(key=lambda row: (-abs(row.moved_seconds), row.label))
+    return TraceDiff(
+        rows=rows, totals_a=_totals(buckets_a), totals_b=_totals(buckets_b)
+    )
+
+
+def render_diff_text(diff: TraceDiff, limit: int = 20) -> str:
+    """A readable attribution-movement table (biggest time shift first)."""
+    lines: List[str] = []
+    if not diff.drift:
+        lines.append(
+            f"no drift: {len(diff.rows)} attribution bucket(s) identical "
+            "(time, ticks, evaluations, memo hits, energy)"
+        )
+        return "\n".join(lines)
+    changed = diff.changed_rows
+    lines.append(
+        f"drift in {len(changed)} of {len(diff.rows)} attribution bucket(s) "
+        "(delta = B - A, sorted by |d_time|):"
+    )
+    header = (
+        f"  {'bucket':56s} {'d_time_s':>10s} {'d_ticks':>9s} "
+        f"{'d_evals':>8s} {'d_memo':>7s} {'d_energy_j':>11s}"
+    )
+    lines.append(header)
+    for row in changed[:limit]:
+        marker = {"both": " ", "only_a": "-", "only_b": "+"}[row.status]
+        lines.append(
+            f"{marker} {row.label:56s} "
+            f"{row.deltas['seconds']:>+10.4g} "
+            f"{row.deltas['ticks']:>+9.0f} "
+            f"{row.deltas['model_evaluations']:>+8.0f} "
+            f"{row.deltas['memo_hits']:>+7.0f} "
+            f"{row.deltas['energy_j']:>+11.4g}"
+        )
+    if len(changed) > limit:
+        lines.append(f"  ... {len(changed) - limit} more changed bucket(s)")
+    totals = {
+        name: diff.totals_b[name] - diff.totals_a[name] for name in _BUCKET_FIELDS
+    }
+    lines.append(
+        "  total: "
+        f"d_time={totals['seconds']:+.4g}s "
+        f"d_ticks={totals['ticks']:+.0f} "
+        f"d_evaluations={totals['model_evaluations']:+.0f} "
+        f"d_memo_hits={totals['memo_hits']:+.0f} "
+        f"d_energy={totals['energy_j']:+.4g}J"
+    )
+    return "\n".join(lines)

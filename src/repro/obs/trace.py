@@ -254,6 +254,7 @@ def summarize_trace_events(events: List[Dict[str, Any]]) -> Dict[str, Any]:
     by_type: Dict[str, int] = {}
     spans: Dict[str, Dict[str, float]] = {}
     logs: Dict[str, int] = {}
+    samples: List[Dict[str, Any]] = []
     engine = {
         "runs": 0,
         "segments": 0,
@@ -302,6 +303,8 @@ def summarize_trace_events(events: List[Dict[str, Any]]) -> Dict[str, Any]:
             engine["transitions"] += 1
         elif event_type == "engine.run":
             engine["runs"] += 1
+        elif event_type == "timeseries.sample":
+            samples.append(event)
 
     summary: Dict[str, Any] = {
         "events": len(events),
@@ -318,4 +321,10 @@ def summarize_trace_events(events: List[Dict[str, Any]]) -> Dict[str, Any]:
         summary["energy_j"] = energy
         summary["dram_residency_s"] = dict(sorted(dram_residency.items()))
         summary["phase_residency_s"] = dict(sorted(phase_residency.items()))
+    if samples:
+        # Deferred import: keeps the engine's import of this module free of
+        # the analysis package (threading, sampling machinery).
+        from repro.obs.analysis.sampler import summarize_timeseries
+
+        summary["timeseries"] = summarize_timeseries(samples)
     return summary

@@ -1,8 +1,11 @@
 """The ``python -m repro bench`` performance harness.
 
 Measures the hot paths the runtime's throughput rests on and emits one
-machine-readable JSON document (``BENCH_6.json`` by default) so every PR has a
-perf trajectory to compare against:
+machine-readable JSON document (``BENCH_7.json`` by default) so every PR has a
+perf trajectory to compare against.  ``repro bench compare BASELINE
+[CURRENT]`` diffs two such documents with per-metric regression budgets
+derived from the recorded per-repetition samples (see
+:mod:`repro.obs.analysis.benchdiff`):
 
 * **engine** -- the cold single-job engine benchmark: one battery-life trace
   (the paper's Sec. 7.3 shape, the motivating 120 s case) under SysScale, run
@@ -49,11 +52,13 @@ from repro.sim.engine import SimulationConfig, SimulationEngine
 from repro.sim.platform import Platform
 
 #: Bench document schema version (bump on incompatible layout changes).
-BENCH_SCHEMA_VERSION = 1
+#: v2 added per-repetition ``*_samples`` arrays, which ``repro bench
+#: compare`` uses to derive noise-based regression budgets.
+BENCH_SCHEMA_VERSION = 2
 
 #: The PR series number this harness writes by default; the driver and CI look
 #: for ``BENCH_<n>.json`` so successive PRs leave a comparable trajectory.
-BENCH_SERIES = 6
+BENCH_SERIES = 7
 
 DEFAULT_BENCH_PATH = f"BENCH_{BENCH_SERIES}.json"
 
@@ -70,13 +75,57 @@ MAX_TELEMETRY_OVERHEAD_QUICK = 0.50
 
 def _time(function: Callable[[], Any], repeats: int = 1) -> Tuple[float, Any]:
     """Best-of-``repeats`` wall time of ``function`` plus its last result."""
-    best = float("inf")
+    best, _samples, result = _time_samples(function, repeats)
+    return best, result
+
+
+def _time_samples(
+    function: Callable[[], Any], repeats: int = 1
+) -> Tuple[float, List[float], Any]:
+    """Like :func:`_time` but also returning every repetition's wall time.
+
+    The per-repetition samples land in the bench document (``*_samples``);
+    ``repro bench compare`` derives noise-based regression budgets from
+    their spread instead of guessing a one-size tolerance.
+    """
+    samples: List[float] = []
     result = None
     for _ in range(max(1, repeats)):
         started = time.perf_counter()
         result = function()
-        best = min(best, time.perf_counter() - started)
-    return best, result
+        samples.append(time.perf_counter() - started)
+    return min(samples), samples, result
+
+
+def _interleaved_time(
+    functions: List[Callable[[], Any]], repeats: int
+) -> List[Tuple[float, List[float], Any]]:
+    """Best-of-``repeats`` for several functions, sampled round-robin.
+
+    Timing each function's repetitions back-to-back lets slow drift (thermal
+    ramps, another process waking up) land entirely on one configuration and
+    masquerade as a real difference -- BENCH_6 recorded a *negative*
+    telemetry overhead exactly this way.  Interleaving spreads any drift
+    evenly across all configurations, so best-of-N minimums compare like
+    with like.
+
+    The order rotates every round: a fixed order would hand position
+    effects (the first run paying the previous round's garbage, the second
+    enjoying warmed caches) to the same configuration every time, which is
+    just drift at round granularity.
+    """
+    samples: List[List[float]] = [[] for _ in functions]
+    results: List[Any] = [None] * len(functions)
+    for round_index in range(max(1, repeats)):
+        for offset in range(len(functions)):
+            index = (round_index + offset) % len(functions)
+            started = time.perf_counter()
+            results[index] = functions[index]()
+            samples[index].append(time.perf_counter() - started)
+    return [
+        (min(samples[index]), samples[index], results[index])
+        for index in range(len(functions))
+    ]
 
 
 def _engine_case(
@@ -99,10 +148,10 @@ def _engine_case(
     # share, so the reference loop is not charged for them.
     fast_engine.run(trace, policy_factory())
 
-    reference_seconds, reference_result = _time(
+    reference_seconds, reference_samples, reference_result = _time_samples(
         lambda: reference_engine.run(trace, policy_factory())
     )
-    fast_seconds, fast_result = _time(
+    fast_seconds, fast_samples, fast_result = _time_samples(
         lambda: fast_engine.run(trace, policy_factory()), repeats=repeats
     )
     stats = fast_engine.last_run_stats
@@ -116,7 +165,9 @@ def _engine_case(
         "simulated_seconds": fast_result.execution_time,
         "ticks": ticks,
         "reference_seconds": reference_seconds,
+        "reference_samples": reference_samples,
         "fast_seconds": fast_seconds,
+        "fast_samples": fast_samples,
         "speedup": reference_seconds / fast_seconds if fast_seconds > 0 else 0.0,
         "reference_ticks_per_second": ticks / reference_seconds if reference_seconds else 0.0,
         "fast_ticks_per_second": ticks / fast_seconds if fast_seconds else 0.0,
@@ -144,6 +195,16 @@ def _telemetry_case(
     segment tracing into an in-memory sink.  ``scoped()`` pins each run's obs
     state explicitly, so ambient ``--trace-out``/``--profile`` flags on the
     bench invocation itself cannot skew the disabled baseline.
+
+    The three configurations are timed **interleaved, best-of-N** (see
+    :func:`_interleaved_time`): timing them sequentially let machine drift
+    land on one configuration and report impossible negative overheads
+    (BENCH_6 shipped ``metrics_overhead_fraction = -0.12``).  Timing noise
+    is additive-positive (a shared box only ever steals cycles, it never
+    donates them), so each configuration's minimum converges on its true
+    floor and the ratio of minimums estimates the real overhead -- but only
+    with enough rounds for every configuration to land a clean one, so this
+    case scales ``repeats`` well past the throughput cases.
     """
     engine = SimulationEngine(platform, SimulationConfig(max_simulated_time=max_time))
     engine.run(trace, policy_factory())  # warm the shared platform caches
@@ -157,17 +218,31 @@ def _telemetry_case(
             return engine.run(trace, policy_factory())
 
     sink = MemorySink()
+    trace_summary: Dict[str, Any] = {}
 
     def run_traced():
         sink.clear()
         with obs_state.scoped(enabled=True, sinks=[sink], trace_segments=True):
-            return engine.run(trace, policy_factory())
+            result = engine.run(trace, policy_factory())
+        # Capture here: the rotating interleave means the traced run is not
+        # necessarily the engine's last, so ``last_run_trace`` can't be read
+        # after the timing loop.
+        if engine.last_run_trace is not None:
+            trace_summary.update(engine.last_run_trace.summary())
+        return result
 
-    plain_seconds, plain_result = _time(run_plain, repeats=repeats)
-    metrics_seconds, metrics_result = _time(run_metrics, repeats=repeats)
-    traced_seconds, traced_result = _time(run_traced, repeats=repeats)
+    # The paired-median estimator needs enough rounds to resolve a
+    # few-percent effect under heavy per-sample noise (shared CI boxes show
+    # +/-10% per round): the median's standard error shrinks ~1/sqrt(N).
+    overhead_repeats = max(5 if quick else 21, repeats)
+    (
+        (plain_seconds, plain_samples, plain_result),
+        (metrics_seconds, metrics_samples, metrics_result),
+        (traced_seconds, traced_samples, traced_result),
+    ) = _interleaved_time(
+        [run_plain, run_metrics, run_traced], repeats=overhead_repeats
+    )
 
-    trace_summary = engine.last_run_trace.summary() if engine.last_run_trace else {}
     segments = int(trace_summary.get("segments", 0))
 
     identical = (
@@ -187,9 +262,13 @@ def _telemetry_case(
     return {
         "workload": trace.name,
         "ticks": engine.last_run_stats.ticks,
+        "repeats": overhead_repeats,
         "plain_seconds": plain_seconds,
+        "plain_samples": plain_samples,
         "metrics_seconds": metrics_seconds,
+        "metrics_samples": metrics_samples,
         "traced_seconds": traced_seconds,
+        "traced_samples": traced_samples,
         "metrics_overhead_fraction": metrics_overhead,
         "traced_overhead_fraction": traced_overhead,
         "overhead_bound": bound,
@@ -390,3 +469,51 @@ def main(args) -> int:
         out.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
         ui.info(f"wrote {out}")
     return 0 if document["ok"] else 1
+
+
+def compare_main(args) -> int:
+    """``repro bench compare BASELINE [CURRENT]`` (wired up by the CLI).
+
+    With no CURRENT document, runs a fresh bench in-process (honouring
+    ``--quick``/``--jobs``) and gates it against the baseline.  Exits 1 when
+    any metric exceeds its budget, 2 on unreadable documents.
+    """
+    from repro.obs.analysis.benchdiff import (
+        compare_documents,
+        load_bench_document,
+        render_comparison_text,
+    )
+
+    ui = Console(info_stream=sys.stderr if args.json else None)
+    try:
+        baseline = load_bench_document(args.baseline)
+    except (OSError, ValueError, json.JSONDecodeError) as error:
+        ui.error(f"bench compare: cannot read baseline: {error}")
+        return 2
+
+    if args.current is not None:
+        try:
+            current = load_bench_document(args.current)
+        except (OSError, ValueError, json.JSONDecodeError) as error:
+            ui.error(f"bench compare: cannot read current: {error}")
+            return 2
+        current_label = str(args.current)
+    else:
+        ui.info(
+            f"bench compare: no CURRENT given, running a fresh "
+            f"{'quick' if args.quick else 'full'} bench"
+        )
+        current = run_bench(quick=args.quick, workers=args.jobs)
+        current_label = "<fresh run>"
+
+    comparison = compare_documents(
+        baseline,
+        current,
+        baseline_label=str(args.baseline),
+        current_label=current_label,
+    )
+    if args.json:
+        ui.out(json.dumps(comparison.to_dict(), indent=2))
+    else:
+        ui.out(render_comparison_text(comparison))
+    return 0 if comparison.ok else 1

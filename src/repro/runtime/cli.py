@@ -23,17 +23,25 @@ Seven subcommands:
 * ``bench`` -- the performance harness: engine ticks/sec (segment-stepping vs.
   the seed reference loop, with a bit-identity gate), runtime jobs/sec (cold
   vs. warm cache, serial vs. parallel), telemetry overhead, written to
-  ``BENCH_6.json``;
+  ``BENCH_7.json``; ``bench compare BASELINE [CURRENT]`` gates a bench
+  document against history with per-metric regression budgets derived from
+  the recorded timing noise (:mod:`repro.obs.analysis.benchdiff`);
 * ``trace`` -- inspect recorded telemetry: ``describe`` summarizes a JSONL
   trace file (event counts, span timings, engine segment statistics,
-  operating-point and phase residencies).
+  operating-point and phase residencies), ``diff A B`` attributes simulated
+  time per (workload, policy, phase, operating point) bucket and reports what
+  moved between two traces, and ``export PATH --chrome OUT`` converts a trace
+  to Chrome/Perfetto ``trace_event`` JSON for a real trace viewer.
 
 ``run``, ``scenarios sweep``, and ``bench`` share the telemetry flags:
 ``--log-level`` filters decorative output, ``--trace-out PATH`` records every
-``repro.obs`` event (spans, logs, engine segments) to a JSON-lines file, and
-``--profile`` prints the metrics-registry summary when the command finishes.
-Telemetry never changes results: job hashes, cache entries, and simulation
-outputs are bit-identical with or without it.
+``repro.obs`` event (spans, logs, engine segments) to a JSON-lines file,
+``--profile`` prints the metrics-registry summary when the command finishes,
+and ``--sample-interval S`` polls the live metrics registry on a background
+cadence, emitting ``timeseries.sample`` events (queue depth, in-flight jobs,
+cache-hit ratio over time) into the trace stream.  Telemetry never changes
+results: job hashes, cache entries, and simulation outputs are bit-identical
+with or without it.
 
 All user-facing text goes through :class:`repro.obs.logging.Console`, which
 enforces the output discipline: the experiment dispatch, per-target help text,
@@ -164,35 +172,67 @@ def _console_for(args: argparse.Namespace) -> Console:
     return Console(info_stream=sys.stderr if _exporting(args) else None)
 
 
-def _obs_setup(args: argparse.Namespace) -> Optional[JsonlSink]:
-    """Apply ``--log-level``/``--trace-out``/``--profile`` to the ambient scope.
+class _ObsSession:
+    """What ``_obs_setup`` opened and ``_obs_teardown`` must close."""
 
-    Returns the trace sink (if one was opened) so the caller can close it in
-    ``_obs_teardown``.  Telemetry stays disabled unless tracing or profiling
-    was requested, keeping the default invocation on the no-op fast path.
+    def __init__(self) -> None:
+        self.sink: Optional[JsonlSink] = None
+        self.sampler: Optional[obs.MetricsSampler] = None
+
+
+def _obs_setup(args: argparse.Namespace, ui: Console) -> _ObsSession:
+    """Apply the telemetry flags to the ambient scope.
+
+    ``--log-level``/``--trace-out``/``--profile`` behave as before;
+    ``--sample-interval S`` additionally starts a :class:`MetricsSampler`
+    polling the live registry into the event stream.  Returns the opened
+    session so the caller can close it in ``_obs_teardown``.  Telemetry
+    stays disabled unless tracing, profiling, or sampling was requested,
+    keeping the default invocation on the no-op fast path.
     """
     obs.reset()
+    session = _ObsSession()
     level = getattr(args, "log_level", None)
     if level:
         obs.set_level(level)
     trace_out = getattr(args, "trace_out", None)
-    if trace_out or getattr(args, "profile", False):
+    interval = getattr(args, "sample_interval", None)
+    if interval is not None and interval <= 0:
+        raise _CliError(f"--sample-interval must be positive, got {interval}")
+    if trace_out or getattr(args, "profile", False) or interval is not None:
         obs.enable(trace_segments=bool(trace_out))
     if trace_out:
-        return obs.add_sink(JsonlSink(trace_out))
-    return None
+        session.sink = obs.add_sink(JsonlSink(trace_out))
+    if interval is not None:
+        if session.sink is None:
+            ui.warning(
+                "note: --sample-interval without --trace-out keeps the "
+                "samples in memory only (pass --trace-out PATH to record "
+                "the time series)"
+            )
+        session.sampler = obs.MetricsSampler(interval)
+        session.sampler.start()
+    return session
 
 
 def _obs_teardown(
-    args: argparse.Namespace, sink: Optional[JsonlSink], ui: Console
+    args: argparse.Namespace, session: _ObsSession, ui: Console
 ) -> None:
-    """Render ``--profile``, close the trace sink, and reset ambient state."""
+    """Stop the sampler, render ``--profile``, close the sink, reset state."""
+    # The sampler stops (emitting its final sample) before the sink closes,
+    # so every sample lands in the recorded file.
+    if session.sampler is not None:
+        samples = session.sampler.stop()
+        ui.info(
+            f"timeseries: {samples} sample(s) at "
+            f"{session.sampler.interval:g}s cadence"
+        )
     if getattr(args, "profile", False):
         ui.info(render_metrics_text(obs.snapshot(), title="profile"))
-    if sink is not None:
-        obs.remove_sink(sink)
-        sink.close()
-        ui.info(f"trace: wrote {sink.path}")
+    if session.sink is not None:
+        obs.remove_sink(session.sink)
+        session.sink.close()
+        ui.info(f"trace: wrote {session.sink.path}")
     obs.reset()
 
 
@@ -438,7 +478,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         return 2
 
     exporting = _exporting(args)
-    sink = _obs_setup(args)
+    session = _obs_setup(args, ui)
     runtime = _build_runtime(args, ui)
     sim_config = (
         SimulationConfig(max_simulated_time=args.max_time) if args.max_time else None
@@ -481,7 +521,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     ui.info(f"runtime: {runtime.summary()}")
     if runtime.cache is not None:
         ui.info(f"cache: {runtime.cache.root} ({len(runtime.cache)} entries)")
-    _obs_teardown(args, sink, ui)
+    _obs_teardown(args, session, ui)
     return 0
 
 
@@ -638,7 +678,7 @@ def _cmd_scenarios_sweep(args: argparse.Namespace) -> int:
         ui.error(f"--max-time must be positive, got {args.max_time}")
         return 2
 
-    sink = _obs_setup(args)
+    session = _obs_setup(args, ui)
     runtime = _build_runtime(args, ui)
     policies = (
         tuple(PolicySpec.make(name) for name in args.policies)
@@ -717,7 +757,7 @@ def _cmd_scenarios_sweep(args: argparse.Namespace) -> int:
     ui.info(f"runtime: {runtime.summary()}")
     if runtime.cache is not None:
         ui.info(f"cache: {runtime.cache.root} ({len(runtime.cache)} entries)")
-    _obs_teardown(args, sink, ui)
+    _obs_teardown(args, session, ui)
     return 0
 
 
@@ -727,11 +767,18 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.runtime.bench import main as bench_main
 
     ui = _console_for(args)
-    sink = _obs_setup(args)
+    session = _obs_setup(args, ui)
     try:
         return bench_main(args)
     finally:
-        _obs_teardown(args, sink, ui)
+        _obs_teardown(args, session, ui)
+
+
+def _cmd_bench_compare(args: argparse.Namespace) -> int:
+    # Deferred import, same reason as _cmd_bench.
+    from repro.runtime.bench import compare_main
+
+    return compare_main(args)
 
 
 def _cmd_trace_describe(args: argparse.Namespace) -> int:
@@ -786,6 +833,62 @@ def _cmd_trace_describe(args: argparse.Namespace) -> int:
             f"{level}={count}" for level, count in summary["logs"].items()
         )
         ui.out(f"logs: {rendered}")
+    if "timeseries" in summary:
+        series = summary["timeseries"]
+        ui.out(
+            f"timeseries: {series['samples']} sample(s) over "
+            f"{series['span_s']:.4g}s"
+        )
+        for name, stats in series["metrics"].items():
+            ui.out(
+                f"  {name:24s} min={stats['min']:.4g} mean={stats['mean']:.4g} "
+                f"max={stats['max']:.4g} last={stats['last']:.4g}"
+            )
+    return 0
+
+
+def _load_trace_model(path: str, ui: Console):
+    """Parse one trace file into a :class:`TraceModel`, or raise ``_CliError``."""
+    # Deferred import: only the trace subcommands need the analysis package.
+    from repro.obs.analysis import TraceModel
+
+    try:
+        return TraceModel.load(path)
+    except OSError as error:
+        raise _CliError(f"cannot read trace {path!r}: {error}") from error
+    except ValueError as error:
+        raise _CliError(f"trace {path!r} is not valid JSONL: {error}") from error
+
+
+def _cmd_trace_diff(args: argparse.Namespace) -> int:
+    from repro.obs.analysis import diff_traces, render_diff_text
+
+    ui = Console(info_stream=sys.stderr if args.json else None)
+    model_a = _load_trace_model(args.trace_a, ui)
+    model_b = _load_trace_model(args.trace_b, ui)
+    diff = diff_traces(model_a, model_b)
+    if args.json:
+        ui.out(json.dumps(diff.to_dict(), indent=2))
+    else:
+        ui.out(f"trace diff: {args.trace_a} vs {args.trace_b}")
+        ui.out(render_diff_text(diff, limit=args.limit))
+    # Drift is reported, not gated: two traces of the same run exit 0.
+    return 0
+
+
+def _cmd_trace_export(args: argparse.Namespace) -> int:
+    from repro.obs.analysis import export_chrome_trace
+
+    ui = Console()
+    model = _load_trace_model(args.path, ui)
+    document = export_chrome_trace(model, args.chrome)
+    described = model.describe()
+    ui.out(
+        f"wrote {args.chrome}: {len(document['traceEvents'])} trace event(s) "
+        f"from {described['engine_runs']} engine run(s), "
+        f"{described['segments']} segment(s), {described['spans']} span(s)"
+    )
+    ui.info("open it at https://ui.perfetto.dev or chrome://tracing")
     return 0
 
 
@@ -857,6 +960,15 @@ def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--profile", action="store_true",
         help="enable metrics collection and print the registry summary at exit",
+    )
+    parser.add_argument(
+        "--sample-interval", type=float, default=None, metavar="S",
+        help=(
+            "poll the metrics registry every S seconds, emitting "
+            "timeseries.sample events (queue depth, in-flight jobs, "
+            "cache-hit ratio) into the trace stream; combine with "
+            "--trace-out to record them"
+        ),
     )
 
 
@@ -1012,12 +1124,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     bench_parser = subparsers.add_parser(
         "bench",
-        help="run the performance harness and write BENCH_6.json",
+        help="run the performance harness and write BENCH_7.json",
         description=(
             "Measure engine ticks/sec (segment-stepping vs. the seed "
             "reference loop) and runtime jobs/sec (cold vs. warm cache, "
             "serial vs. parallel), gate on bit-identity and telemetry "
-            "overhead, and write one machine-readable JSON document."
+            "overhead, and write one machine-readable JSON document.  "
+            "`bench compare BASELINE [CURRENT]` gates a document against "
+            "history with noise-derived per-metric regression budgets."
         ),
     )
     bench_parser.add_argument(
@@ -1032,7 +1146,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default=None, metavar="PATH",
         help=(
             "write the bench document to PATH "
-            "(default BENCH_6.json in the working directory; "
+            "(default BENCH_7.json in the working directory; "
             "'-' skips the file)"
         ),
     )
@@ -1042,6 +1156,39 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_obs_flags(bench_parser)
     bench_parser.set_defaults(handler=_cmd_bench)
+    bench_sub = bench_parser.add_subparsers(dest="bench_command", required=False)
+    bench_compare = bench_sub.add_parser(
+        "compare",
+        help="gate a bench document against a baseline BENCH_*.json",
+        description=(
+            "Compare two bench documents with per-metric regression budgets: "
+            "timing metrics get noise-derived budgets (from the recorded "
+            "per-repetition samples), bit-identity flags get strict equality, "
+            "and the engine speedup keeps its absolute floor.  Exits 1 on "
+            "any regression.  Without CURRENT, a fresh bench runs in-process "
+            "(honouring --quick/--jobs) and is compared against BASELINE."
+        ),
+    )
+    bench_compare.add_argument(
+        "baseline", metavar="BASELINE", help="baseline BENCH_*.json document"
+    )
+    bench_compare.add_argument(
+        "current", nargs="?", default=None, metavar="CURRENT",
+        help="bench document to gate (default: run a fresh bench now)",
+    )
+    bench_compare.add_argument(
+        "--json", action="store_true",
+        help="print the comparison verdicts as JSON on stdout",
+    )
+    bench_compare.add_argument(
+        "--quick", action="store_true",
+        help="when running a fresh bench, use the quick configuration",
+    )
+    bench_compare.add_argument(
+        "--jobs", "-j", type=int, default=2, metavar="N",
+        help="when running a fresh bench, worker processes (default 2)",
+    )
+    bench_compare.set_defaults(handler=_cmd_bench_compare)
 
     trace_parser = subparsers.add_parser(
         "trace", help="inspect recorded telemetry traces (repro.obs)"
@@ -1058,6 +1205,49 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="print the summary as JSON"
     )
     trace_describe.set_defaults(handler=_cmd_trace_describe)
+    trace_diff = trace_sub.add_parser(
+        "diff",
+        help="attribute simulated time between two traces and report drift",
+        description=(
+            "Fold each trace's engine segments into (workload, policy, phase, "
+            "operating point) attribution buckets and diff them: buckets key "
+            "on what the engine memo keys on, so two runs align even when "
+            "their jobs executed in different orders.  Two traces of the "
+            "same run report zero drift."
+        ),
+    )
+    trace_diff.add_argument(
+        "trace_a", metavar="A", help="baseline trace (JSONL from --trace-out)"
+    )
+    trace_diff.add_argument(
+        "trace_b", metavar="B", help="comparison trace (JSONL from --trace-out)"
+    )
+    trace_diff.add_argument(
+        "--limit", type=int, default=20, metavar="N",
+        help="show at most N changed buckets (default 20)",
+    )
+    trace_diff.add_argument(
+        "--json", action="store_true", help="print the full diff as JSON"
+    )
+    trace_diff.set_defaults(handler=_cmd_trace_diff)
+    trace_export = trace_sub.add_parser(
+        "export",
+        help="convert a trace to Chrome/Perfetto trace_event JSON",
+        description=(
+            "Convert a --trace-out JSONL file to the Trace Event Format "
+            "(chrome://tracing, https://ui.perfetto.dev): the span waterfall "
+            "on one process row, engine segment/transition timelines (one "
+            "thread per run, simulated time) on another."
+        ),
+    )
+    trace_export.add_argument(
+        "path", metavar="PATH", help="trace file written by --trace-out"
+    )
+    trace_export.add_argument(
+        "--chrome", required=True, metavar="OUT",
+        help="write the trace_event JSON document to OUT",
+    )
+    trace_export.set_defaults(handler=_cmd_trace_export)
 
     cache_parser = subparsers.add_parser("cache", help="inspect or clear the cache")
     cache_parser.add_argument(

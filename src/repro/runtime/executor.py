@@ -266,9 +266,18 @@ class SerialExecutor(Executor):
         jobs: List[Job],
         on_executed: Callable[..., None],
     ) -> None:
-        for job in jobs:
+        # The same gauges the pool path maintains, so a --sample-interval
+        # time series reads consistently whichever executor ran (all gauge
+        # writes are no-ops while telemetry is disabled).
+        queue_gauge = obs_state.gauge("executor.queue_depth")
+        in_flight_gauge = obs_state.gauge("executor.in_flight")
+        obs_state.gauge("executor.workers").set(1)
+        for index, job in enumerate(jobs):
+            queue_gauge.set(len(jobs) - index - 1)
+            in_flight_gauge.set(1)
             payload, stats = execute_job_with_stats(job)
             on_executed(job, payload, stats)
+        in_flight_gauge.set(0)
 
 
 def _pool_execute(job: Job, collect_metrics: bool):
@@ -364,9 +373,15 @@ class ParallelExecutor(Executor):
         if self.max_workers == 1 or (len(jobs) == 1 and self._pool is None):
             # A pool would only add fork/teardown overhead; once a warm pool
             # exists, even single-job batches go through it.
-            for job in jobs:
+            queue_gauge = obs_state.gauge("executor.queue_depth")
+            in_flight_gauge = obs_state.gauge("executor.in_flight")
+            obs_state.gauge("executor.workers").set(1)
+            for index, job in enumerate(jobs):
+                queue_gauge.set(len(jobs) - index - 1)
+                in_flight_gauge.set(1)
                 payload, stats = execute_job_with_stats(job)
                 on_executed(job, payload, stats)
+            in_flight_gauge.set(0)
             return
         collect_metrics = obs_state.enabled()
         if self._pool is not None and collect_metrics:
@@ -391,6 +406,10 @@ class ParallelExecutor(Executor):
                     if worker_snapshot is not None:
                         obs_state.merge_snapshot(worker_snapshot)
                     on_executed(job, payload, stats)
+                # Refresh after draining completions too, so a background
+                # sampler never reads a count the pool has already retired.
+                in_flight_gauge.set(len(in_flight))
+            queue_gauge.set(0)
             in_flight_gauge.set(0)
         except BrokenProcessPool:
             # A dead worker poisons the whole pool; drop it so the next

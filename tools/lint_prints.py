@@ -1,12 +1,13 @@
 #!/usr/bin/env python
-"""Reject bare ``print()`` calls in ``src/repro``.
+"""Reject bare ``print()`` calls in ``src/repro`` and ``examples``.
 
 All user-facing text must go through :class:`repro.obs.logging.Console`, which
 enforces the CLI output contract (primary output vs. decorations vs.
 diagnostics).  This walks every module's AST -- so ``print(`` inside docstrings
 and comments does not trip it -- and fails the build when a new call sneaks in.
 
-Usage: ``python tools/lint_prints.py [ROOT]`` (default root: ``src/repro``).
+Usage: ``python tools/lint_prints.py [ROOT ...]`` (default roots:
+``src/repro`` and ``examples``).
 """
 
 from __future__ import annotations
@@ -14,6 +15,9 @@ from __future__ import annotations
 import ast
 import sys
 from pathlib import Path
+
+#: Roots linted when none are named on the command line.
+DEFAULT_ROOTS = ("src/repro", "examples")
 
 #: Files allowed to write to stdout/stderr directly.  The Console *is* the
 #: rendering layer, so it is the one justified user of the raw streams.
@@ -36,19 +40,20 @@ def find_prints(path: Path) -> list:
 
 
 def main(argv: list) -> int:
-    root = Path(argv[1]) if len(argv) > 1 else Path("src/repro")
+    roots = [Path(arg) for arg in argv[1:]] or [Path(r) for r in DEFAULT_ROOTS]
     failures = 0
-    for path in sorted(root.rglob("*.py")):
-        relative = path.as_posix()
-        if relative in WHITELIST:
-            continue
-        for lineno in find_prints(path):
-            print(f"{relative}:{lineno}: bare print() -- use repro.obs Console")
-            failures += 1
+    for root in roots:
+        for path in sorted(root.rglob("*.py")):
+            relative = path.as_posix()
+            if relative in WHITELIST:
+                continue
+            for lineno in find_prints(path):
+                print(f"{relative}:{lineno}: bare print() -- use repro.obs Console")
+                failures += 1
     if failures:
         print(f"{failures} bare print call(s); see repro/obs/logging.py")
         return 1
-    print(f"lint_prints: OK ({root})")
+    print(f"lint_prints: OK ({', '.join(str(root) for root in roots)})")
     return 0
 
 
