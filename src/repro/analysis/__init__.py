@@ -1,0 +1,8 @@
+"""``repro.analysis``: static analysis of the reproduction's own source.
+
+The reproduction's headline guarantees -- bit-identical results across
+serial/parallel/cold/warm execution, stable content hashes, telemetry that
+cannot perturb results -- are *conventions* unless something checks them.
+:mod:`repro.analysis.lint` turns the conventions into machine-checked rules
+over the AST of the repo itself, exposed as ``python -m repro lint``.
+"""

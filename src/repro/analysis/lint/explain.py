@@ -1,0 +1,74 @@
+"""``repro lint --explain RULE``: rationale plus a concrete bad/good pair.
+
+The examples are not prose invented here: they are the *same* golden
+fixtures the test suite runs the rules against (``tests/fixtures/lint/
+<rule>_bad.py`` / ``<rule>_good.py``), so the explanation can never drift
+from what the rule actually fires on.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+from typing import List, Optional
+
+from repro.analysis.lint.rules import RULES
+
+__all__ = ["explain_rule", "fixtures_dir"]
+
+
+def fixtures_dir(repo_root: Optional[Path] = None) -> Optional[Path]:
+    """Locate ``tests/fixtures/lint``: cwd first, then relative to the
+    source checkout this module lives in.  None when not in a checkout."""
+    candidates = []
+    if repo_root is not None:
+        candidates.append(repo_root / "tests" / "fixtures" / "lint")
+    candidates.append(Path.cwd() / "tests" / "fixtures" / "lint")
+    candidates.append(
+        Path(__file__).resolve().parents[4] / "tests" / "fixtures" / "lint"
+    )
+    for candidate in candidates:
+        if candidate.is_dir():
+            return candidate
+    return None
+
+
+def _fixture_snippet(directory: Path, name: str) -> Optional[str]:
+    path = directory / name
+    if not path.is_file():
+        return None
+    lines: List[str] = []
+    for line in path.read_text(encoding="utf-8").splitlines():
+        # Drop the fixture scaffolding (module pragma, leading docstring is
+        # kept -- it usually states intent).
+        if "reprolint: module=" in line:
+            continue
+        lines.append(line)
+    snippet = "\n".join(lines).strip()
+    return snippet or None
+
+
+def explain_rule(rule_name: str, repo_root: Optional[Path] = None) -> str:
+    """Human-readable explanation of one rule; raises KeyError if unknown."""
+    rule = RULES[rule_name]
+    sections: List[str] = [
+        f"{rule.name} ({rule.severity})",
+        f"  {rule.summary}",
+        "",
+        textwrap.fill(rule.rationale, width=78, initial_indent="", subsequent_indent=""),
+    ]
+    directory = fixtures_dir(repo_root)
+    if directory is not None:
+        slug = rule.name.replace("-", "_")
+        bad = _fixture_snippet(directory, f"{slug}_bad.py")
+        good = _fixture_snippet(directory, f"{slug}_good.py")
+        if bad:
+            sections += ["", "Fires on:", "", textwrap.indent(bad, "    ")]
+        if good:
+            sections += ["", "Clean:", "", textwrap.indent(good, "    ")]
+    else:
+        sections += [
+            "",
+            "(example fixtures not found -- run from a source checkout to see them)",
+        ]
+    return "\n".join(sections)

@@ -1,0 +1,124 @@
+"""Findings, suppressions, and the committed baseline.
+
+A :class:`Finding` is one rule violation at one source line.  Two escape
+hatches keep the gate honest without blocking work:
+
+* **inline suppressions** -- ``# reprolint: disable=RULE`` on the offending
+  line waives that rule there, visibly, in the diff;
+* **the baseline** -- a committed JSON file of known findings that are
+  tolerated but not endorsed.  Baseline entries match on ``(rule, path,
+  message)`` with a multiplicity, *not* on line numbers, so unrelated edits
+  that shift a tolerated finding up or down the file do not break the gate.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Tuple
+
+__all__ = [
+    "Baseline",
+    "Finding",
+    "suppressed_rules",
+]
+
+#: ``# reprolint: disable=rule-a,rule-b`` -- waives the listed rules on the
+#: physical line the comment sits on.
+_DISABLE_RE = re.compile(r"#\s*reprolint:\s*disable=([A-Za-z0-9_,\- ]+)")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation: where, what, and how bad."""
+
+    rule: str
+    severity: str  # "error" | "warning"
+    path: str  # repo-relative, posix separators
+    line: int
+    message: str
+
+    def key(self) -> Tuple[str, str, str]:
+        """Baseline identity: line numbers deliberately excluded."""
+        return (self.rule, self.path, self.message)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.severity}: {self.message}"
+
+
+def suppressed_rules(line: str) -> Tuple[str, ...]:
+    """Rules waived by a ``# reprolint: disable=...`` pragma on ``line``."""
+    match = _DISABLE_RE.search(line)
+    if not match:
+        return ()
+    return tuple(
+        part.strip() for part in match.group(1).split(",") if part.strip()
+    )
+
+
+class Baseline:
+    """Known findings tolerated by the gate, keyed with multiplicity.
+
+    The file format is a sorted list of ``{rule, path, message, count}``
+    entries so diffs stay reviewable and the count shrinking over time is
+    visible in the history.
+    """
+
+    def __init__(self, counts: Dict[Tuple[str, str, str], int] | None = None) -> None:
+        self.counts: Dict[Tuple[str, str, str], int] = dict(counts or {})
+
+    @classmethod
+    def from_findings(cls, findings: List[Finding]) -> "Baseline":
+        baseline = cls()
+        for finding in findings:
+            key = finding.key()
+            baseline.counts[key] = baseline.counts.get(key, 0) + 1
+        return baseline
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        data = json.loads(path.read_text(encoding="utf-8"))
+        baseline = cls()
+        for entry in data.get("findings", []):
+            key = (str(entry["rule"]), str(entry["path"]), str(entry["message"]))
+            baseline.counts[key] = baseline.counts.get(key, 0) + int(
+                entry.get("count", 1)
+            )
+        return baseline
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "findings": [
+                {"rule": rule, "path": path, "message": message, "count": count}
+                for (rule, path, message), count in sorted(self.counts.items())
+            ]
+        }
+
+    def save(self, path: Path) -> None:
+        path.write_text(
+            json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    def filter_new(self, findings: List[Finding]) -> List[Finding]:
+        """Findings not absorbed by the baseline (multiplicity-aware)."""
+        budget = dict(self.counts)
+        fresh: List[Finding] = []
+        for finding in findings:
+            key = finding.key()
+            if budget.get(key, 0) > 0:
+                budget[key] -= 1
+            else:
+                fresh.append(finding)
+        return fresh

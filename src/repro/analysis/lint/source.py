@@ -1,0 +1,82 @@
+"""The unit of linting: one parsed source file plus its repro identity.
+
+Rules need three things about a file: its AST, its physical lines (for
+inline suppressions), and -- for the layer- and scope-aware rules -- which
+``repro.*`` module it is.  The module name is derived from the path for
+files under ``src/repro``; any file can override it with a
+
+    # reprolint: module=repro.sim.something
+
+pragma, which is how the test fixtures impersonate in-tree modules so the
+scoped rules exercise against tiny files instead of the real tree.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+__all__ = ["SourceModule", "parse_source"]
+
+_MODULE_PRAGMA_RE = re.compile(r"#\s*reprolint:\s*module=([A-Za-z0-9_.]+)")
+
+
+class SourceModule:
+    """One file under lint: path, text, AST, and resolved module name."""
+
+    def __init__(
+        self,
+        path: Path,
+        rel_path: str,
+        text: str,
+        tree: ast.Module,
+        module: Optional[str],
+    ) -> None:
+        self.path = path
+        self.rel_path = rel_path  # repo-relative, posix separators
+        self.text = text
+        self.lines: List[str] = text.splitlines()
+        self.tree = tree
+        self.module = module  # dotted repro module name, or None
+
+    def line(self, lineno: int) -> str:
+        """The physical source line (1-based; empty string out of range)."""
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+
+def _module_from_path(rel_path: str) -> Optional[str]:
+    """Dotted module name for files under ``src/repro``; None otherwise."""
+    parts = Path(rel_path).parts
+    if len(parts) < 2 or parts[0] != "src":
+        return None
+    dotted = list(parts[1:])
+    if not dotted[-1].endswith(".py"):
+        return None
+    dotted[-1] = dotted[-1][: -len(".py")]
+    if dotted[-1] == "__init__":
+        dotted.pop()
+    return ".".join(dotted) if dotted else None
+
+
+def parse_source(
+    path: Path, rel_path: str
+) -> Tuple[Optional["SourceModule"], Optional[str]]:
+    """Parse ``path``; returns ``(module, error)`` -- exactly one is set."""
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        return None, f"{rel_path}: unreadable: {exc}"
+    try:
+        tree = ast.parse(text, filename=rel_path)
+    except SyntaxError as exc:
+        return None, f"{rel_path}: syntax error: {exc.msg} (line {exc.lineno})"
+
+    module = _module_from_path(rel_path)
+    pragma = _MODULE_PRAGMA_RE.search(text)
+    if pragma:
+        module = pragma.group(1)
+    return SourceModule(path, rel_path, text, tree, module), None

@@ -9,9 +9,11 @@ accounting):
   no-ops while telemetry is disabled (the default).
 * **spans** -- ``with obs.span("executor.run", jobs=n):`` times and nests
   the hot path from the CLI down to the engine.
-* **engine traces** -- :class:`EngineTraceRecorder` captures the
+* **engine traces** -- :class:`repro.sim.trace.EngineTraceRecorder` (owned
+  by the sim layer so the engine never imports telemetry) captures the
   segment-stepping loop's per-segment timeline (phase, operating point, MRC
-  set, per-domain power, memo hit/miss).
+  set, per-domain power, memo hit/miss); the runtime emits its events here
+  and :func:`summarize_trace_events` condenses them back into summaries.
 * **sinks** -- :class:`JsonlSink` event files, :class:`MemorySink` for
   tests, text renderers for ``--profile`` and ``trace describe``.
 * **analysis** (:mod:`repro.obs.analysis`) -- the read side: typed trace
@@ -69,12 +71,7 @@ from repro.obs.state import (
     timer,
     trace_enabled,
 )
-from repro.obs.trace import (
-    EngineTraceRecorder,
-    SegmentRecord,
-    TransitionRecord,
-    summarize_trace_events,
-)
+from repro.obs.trace import summarize_trace_events
 from repro.obs.logging import Console
 from repro.obs.analysis.sampler import MetricsSampler
 
@@ -82,7 +79,6 @@ __all__ = [
     "Console",
     "MetricsSampler",
     "Counter",
-    "EngineTraceRecorder",
     "Gauge",
     "Histogram",
     "JsonlSink",
@@ -90,10 +86,8 @@ __all__ = [
     "MemorySink",
     "MetricsRegistry",
     "ObsScope",
-    "SegmentRecord",
     "Span",
     "Timer",
-    "TransitionRecord",
     "add_sink",
     "configure",
     "counter",

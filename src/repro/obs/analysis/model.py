@@ -94,7 +94,7 @@ class OperatingPoint:
 
 @dataclass(frozen=True)
 class TraceSegment:
-    """One replayed segment, typed (see ``repro.obs.trace.SegmentRecord``)."""
+    """One replayed segment, typed (see ``repro.sim.trace.SegmentRecord``)."""
 
     time: float
     duration: float

@@ -1,0 +1,44 @@
+"""JSON-scalar parameter tuples shared by every declarative spec layer.
+
+Specs across the reproduction -- runtime jobs, scenario catalog entries --
+carry their keyword parameters as sorted ``(key, value)`` tuples restricted to
+JSON scalars (plus string sequences), so that the same payload is hashable,
+order-insensitive, and round-trips through canonical JSON untouched.  The
+helpers live in this dependency-free module (like :mod:`repro.hashing`) so
+that both :mod:`repro.runtime.jobs` and :mod:`repro.scenarios.registry` can
+share one definition without the scenario layer reaching into the runtime.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple, Union
+
+#: JSON-scalar parameter values (tuples carry ordered string sequences).
+ParamValue = Union[str, int, float, bool, None, Tuple[str, ...]]
+Params = Tuple[Tuple[str, ParamValue], ...]
+
+
+def normalize_params(params: Dict[str, Any]) -> Params:
+    """Sort parameters by key and freeze list values into tuples."""
+    items: List[Tuple[str, ParamValue]] = []
+    for key in sorted(params):
+        value = params[key]
+        if isinstance(value, list):
+            value = tuple(value)
+        if isinstance(value, tuple):
+            if not all(isinstance(item, str) for item in value):
+                raise TypeError(f"sequence parameter {key!r} must contain only strings")
+        elif value is not None and not isinstance(value, (str, int, float, bool)):
+            raise TypeError(
+                f"parameter {key!r} must be a JSON scalar or a sequence of strings, "
+                f"got {type(value).__name__}"
+            )
+        items.append((key, value))
+    return tuple(items)
+
+
+def params_to_jsonable(params: Params) -> Dict[str, Any]:
+    """Plain-dict view of normalized parameters (tuples become lists)."""
+    return {
+        key: list(value) if isinstance(value, tuple) else value for key, value in params
+    }

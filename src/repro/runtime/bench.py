@@ -190,11 +190,14 @@ def _telemetry_case(
 ) -> Dict[str, Any]:
     """Overhead and bit-identity of the fast engine path under telemetry.
 
-    Three timed configurations of the *same* engine: telemetry disabled (the
-    production default), enabled for metrics only, and enabled with full
-    segment tracing into an in-memory sink.  ``scoped()`` pins each run's obs
-    state explicitly, so ambient ``--trace-out``/``--profile`` flags on the
-    bench invocation itself cannot skew the disabled baseline.
+    Three timed configurations: telemetry disabled (the production default),
+    enabled for metrics only, and full segment tracing.  The traced
+    configuration uses its own engine with ``trace_segments=True`` in the
+    *config* -- the engine never consults ambient obs state (that inversion
+    is what keeps the sim layer free of telemetry imports) -- while
+    ``scoped()`` still pins each run's obs state explicitly, so ambient
+    ``--trace-out``/``--profile`` flags on the bench invocation itself cannot
+    skew the disabled baseline.
 
     The three configurations are timed **interleaved, best-of-N** (see
     :func:`_interleaved_time`): timing them sequentially let machine drift
@@ -207,6 +210,10 @@ def _telemetry_case(
     case scales ``repeats`` well past the throughput cases.
     """
     engine = SimulationEngine(platform, SimulationConfig(max_simulated_time=max_time))
+    traced_engine = SimulationEngine(
+        platform,
+        SimulationConfig(max_simulated_time=max_time, trace_segments=True),
+    )
     engine.run(trace, policy_factory())  # warm the shared platform caches
 
     def run_plain():
@@ -223,12 +230,9 @@ def _telemetry_case(
     def run_traced():
         sink.clear()
         with obs_state.scoped(enabled=True, sinks=[sink], trace_segments=True):
-            result = engine.run(trace, policy_factory())
-        # Capture here: the rotating interleave means the traced run is not
-        # necessarily the engine's last, so ``last_run_trace`` can't be read
-        # after the timing loop.
-        if engine.last_run_trace is not None:
-            trace_summary.update(engine.last_run_trace.summary())
+            result = traced_engine.run(trace, policy_factory())
+        if traced_engine.last_run_trace is not None:
+            trace_summary.update(traced_engine.last_run_trace.summary())
         return result
 
     # The paired-median estimator needs enough rounds to resolve a

@@ -781,6 +781,22 @@ def _cmd_bench_compare(args: argparse.Namespace) -> int:
     return compare_main(args)
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    # Deferred import: the linter is pure stdlib-ast tooling nothing else on
+    # the CLI's import path needs.
+    from repro.analysis.lint.cli import run_lint
+
+    return run_lint(
+        args.paths,
+        as_json=args.json,
+        baseline_path=args.baseline,
+        update_baseline=args.update_baseline,
+        explain=args.explain,
+        list_rules=args.list_rules,
+        rules=args.rules or None,
+    )
+
+
 def _cmd_trace_describe(args: argparse.Namespace) -> int:
     ui = Console()
     try:
@@ -1248,6 +1264,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the trace_event JSON document to OUT",
     )
     trace_export.set_defaults(handler=_cmd_trace_export)
+
+    lint_parser = subparsers.add_parser(
+        "lint",
+        help="statically check the repo's determinism/hash/layering contracts",
+    )
+    lint_parser.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help="files or directories to lint (default: src/repro tests tools examples)",
+    )
+    lint_parser.add_argument(
+        "--json", action="store_true", help="emit the full report as JSON on stdout"
+    )
+    lint_parser.add_argument(
+        "--baseline", metavar="FILE", default=None,
+        help="baseline file of tolerated findings "
+        "(default: .reprolint-baseline.json when present)",
+    )
+    lint_parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline to absorb all current findings",
+    )
+    lint_parser.add_argument(
+        "--rule", dest="rules", action="append", metavar="RULE",
+        help="restrict to one rule (repeatable)",
+    )
+    lint_parser.add_argument(
+        "--explain", metavar="RULE", default=None,
+        help="print a rule's rationale with a bad/good example, then exit",
+    )
+    lint_parser.add_argument(
+        "--list-rules", action="store_true", help="list rules with severities"
+    )
+    lint_parser.set_defaults(handler=_cmd_lint)
 
     cache_parser = subparsers.add_parser("cache", help="inspect or clear the cache")
     cache_parser.add_argument(

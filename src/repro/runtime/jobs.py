@@ -32,16 +32,22 @@ execution share one code path and produce bit-identical results.
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from functools import lru_cache
 from typing import Any, Callable, ClassVar, Dict, List, Optional, Tuple, Union
 
 from repro import config
 from repro.obs import state as obs_state
 from repro.obs.spans import span as _span
-# Re-exported for compatibility: these helpers historically lived here and the
-# scenario registry (among others) imports them from this module.
+# Re-exported for compatibility: these helpers historically lived here and
+# callers still import them from this module.
 from repro.hashing import canonical_json, content_hash
+from repro.params import (
+    ParamValue,
+    Params,
+    normalize_params as _normalize_params,
+    params_to_jsonable as _params_to_jsonable,
+)
 from repro.hw import DRAM_SPECS, HardwareSpec
 from repro.core.operating_points import (
     OperatingPoint,
@@ -68,37 +74,6 @@ from repro.workloads.trace import WorkloadClass, WorkloadTrace
 #: Bump when the job schema changes incompatibly; part of every content hash,
 #: so stale cache entries from older schemas can never be returned.
 SCHEMA_VERSION = 1
-
-#: JSON-scalar parameter values (tuples carry ordered string sequences).
-ParamValue = Union[str, int, float, bool, None, Tuple[str, ...]]
-Params = Tuple[Tuple[str, ParamValue], ...]
-
-
-def _normalize_params(params: Dict[str, Any]) -> Params:
-    """Sort parameters by key and freeze list values into tuples."""
-    items: List[Tuple[str, ParamValue]] = []
-    for key in sorted(params):
-        value = params[key]
-        if isinstance(value, list):
-            value = tuple(value)
-        if isinstance(value, tuple):
-            if not all(isinstance(item, str) for item in value):
-                raise TypeError(f"sequence parameter {key!r} must contain only strings")
-        elif value is not None and not isinstance(value, (str, int, float, bool)):
-            raise TypeError(
-                f"parameter {key!r} must be a JSON scalar or a sequence of strings, "
-                f"got {type(value).__name__}"
-            )
-        items.append((key, value))
-    return tuple(items)
-
-
-def _params_to_jsonable(params: Params) -> Dict[str, Any]:
-    """Plain-dict view of normalized parameters (tuples become lists)."""
-    return {
-        key: list(value) if isinstance(value, tuple) else value for key, value in params
-    }
-
 
 def _cached_job_hash(job) -> str:
     """Compute a job's content hash once and memoize it on the instance.
@@ -602,7 +577,13 @@ def execute_job_with_stats(
     """
     platform = platform_for(job.platform)
     if isinstance(job, SimulationJob):
-        engine = SimulationEngine(platform, job.sim.to_config())
+        sim_config = job.sim.to_config()
+        if obs_state.trace_enabled() and not sim_config.trace_segments:
+            # Ambient tracing flips the engine's own flag (the engine never
+            # consults obs state) -- the spec, and thus the job hash, is
+            # untouched because tracing is not part of job identity.
+            sim_config = replace(sim_config, trace_segments=True)
+        engine = SimulationEngine(platform, sim_config)
         peripherals = (
             STANDARD_CONFIGURATIONS[job.peripherals] if job.peripherals else None
         )

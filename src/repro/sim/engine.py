@@ -45,8 +45,6 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro import config
-from repro.obs import state as obs_state
-from repro.obs.trace import EngineTraceRecorder
 from repro.perf.counters import CounterName, CounterSample
 from repro.power.budget import ComputePlan
 from repro.power.cstates import CState, IDLE_PACKAGE_POWER
@@ -54,6 +52,7 @@ from repro.power.models import ActivityVector
 from repro.sim.platform import Platform, activity_for_phase
 from repro.sim.policy import Policy, PolicyAction, PolicyObservation, StaticDemandInfo
 from repro.sim.result import DomainEnergyBreakdown, EngineRunStats, SimulationResult
+from repro.sim.trace import EngineTraceRecorder
 from repro.soc.domains import SoCState
 from repro.workloads.io_devices import PeripheralConfiguration
 from repro.workloads.trace import Phase, WorkloadClass, WorkloadTrace
@@ -68,14 +67,14 @@ class SimulationConfig:
     bit-identical results; the reference loop exists as the parity arbiter and
     the baseline the ``repro bench`` harness measures speedups against.
 
-    ``trace_segments`` attaches an :class:`~repro.obs.trace.EngineTraceRecorder`
+    ``trace_segments`` attaches an :class:`~repro.sim.trace.EngineTraceRecorder`
     to each run (exposed as ``engine.last_run_trace``) capturing the
     per-segment timeline.  Tracing is pure observation -- results are
     bit-identical either way -- and is deliberately *not* part of
     ``SimSpec``/job hashing: telemetry never contributes to job identity.
-    The recorder is also attached when ambient tracing is on
-    (``obs.enable(trace_segments=True)``), so the CLI's ``--trace-out`` works
-    without touching job specs.
+    The engine consults only this flag; when ambient ``obs`` tracing is on,
+    the runtime (:func:`repro.runtime.jobs.execute_job_with_stats`) flips it
+    before building the engine, so the sim layer never imports telemetry.
     """
 
     tick: float = config.COUNTER_SAMPLING_INTERVAL
@@ -214,9 +213,9 @@ class SimulationEngine:
         #: bench harness; not part of the simulation result).
         self.last_run_stats: Optional[EngineRunStats] = None
         #: Segment timeline of the most recent :meth:`run` when tracing was
-        #: requested (``trace_segments`` or ambient obs tracing); ``None``
-        #: otherwise.  Only the segment loop records -- a reference-loop run
-        #: leaves the recorder empty.
+        #: requested (``trace_segments``); ``None`` otherwise.  Only the
+        #: segment loop records -- a reference-loop run leaves the recorder
+        #: empty.
         self.last_run_trace: Optional[EngineTraceRecorder] = None
 
     # ------------------------------------------------------------------
@@ -245,7 +244,7 @@ class SimulationEngine:
         run = _RunState()
 
         recorder: Optional[EngineTraceRecorder] = None
-        if self.config.trace_segments or obs_state.trace_enabled():
+        if self.config.trace_segments:
             recorder = EngineTraceRecorder(workload=trace.name, policy=policy.name)
         self.last_run_trace = recorder
 

@@ -1,0 +1,8 @@
+"""Bad: output bypassing the Console contract."""
+
+import sys
+
+
+def report(value):
+    print(f"value = {value}")  # bypasses --quiet/--json handling
+    sys.stderr.write("done\n")

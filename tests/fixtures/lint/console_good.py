@@ -1,0 +1,9 @@
+"""Good: output flows through the Console rendering layer."""
+
+from repro.obs.logging import Console
+
+
+def report(value):
+    ui = Console()
+    ui.out(f"value = {value}")
+    ui.info("done")

@@ -1,0 +1,14 @@
+# reprolint: module=repro.sim.fake_fixture
+"""Bad: a model-layer module reading clocks, global RNGs, and the env."""
+
+import os
+import time
+
+import numpy as np
+
+
+def simulate_segment(duration):
+    started = time.perf_counter()  # wall clock in result code
+    jitter = np.random.rand()  # global NumPy RNG: irreproducible
+    scale = float(os.environ.get("REPRO_SCALE", "1.0"))  # env-dependent result
+    return (time.time() - started) + jitter * scale * duration

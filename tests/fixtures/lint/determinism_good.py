@@ -1,0 +1,10 @@
+# reprolint: module=repro.sim.fake_fixture
+"""Good: randomness flows through an explicitly seeded generator."""
+
+import numpy as np
+
+
+def simulate_segment(duration, seed):
+    rng = np.random.default_rng(seed)  # seeded: bit-identical every run
+    jitter = rng.random()
+    return jitter * duration

@@ -1,0 +1,20 @@
+# reprolint: module=repro.hw.fake_fixture
+"""Bad: a hashed spec whose serializer silently drops a field."""
+
+from dataclasses import dataclass
+
+from repro.hashing import content_hash
+
+
+@dataclass(frozen=True)
+class WidgetSpec:
+    name: str
+    frequency: float
+    voltage: float  # added later, never wired into to_dict(): hash collision
+
+    def to_dict(self):
+        return {"name": self.name, "frequency": self.frequency}
+
+    @property
+    def content_hash(self):  # no *SCHEMA_VERSION constant in the module
+        return content_hash(self.to_dict())

@@ -1,0 +1,26 @@
+# reprolint: module=repro.hw.fake_fixture
+"""Good: every field reaches the payload, and the payload is versioned."""
+
+from dataclasses import dataclass
+
+from repro.hashing import content_hash
+
+WIDGET_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class WidgetSpec:
+    name: str
+    frequency: float
+    voltage: float
+
+    def to_dict(self):
+        return {
+            "name": self.name,
+            "frequency": self.frequency,
+            "voltage": self.voltage,
+        }
+
+    @property
+    def content_hash(self):
+        return content_hash({"schema": WIDGET_SCHEMA_VERSION, **self.to_dict()})

@@ -1,0 +1,8 @@
+# reprolint: module=repro.sim.fake_fixture
+"""Bad: the model layer importing telemetry at the top level."""
+
+from repro.obs import state as obs_state  # model -> obs: forbidden edge
+
+
+def run():
+    return obs_state.enabled()

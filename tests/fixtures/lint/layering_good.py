@@ -1,0 +1,12 @@
+# reprolint: module=repro.runtime.fake_fixture
+"""Good: the runtime may see the model; lazy imports break cycles."""
+
+from repro.sim.engine import SimulationConfig  # runtime -> model: allowed
+
+
+def scenario_names():
+    # Function-scoped deferred import: the sanctioned cycle-breaking idiom
+    # (not a layering edge -- nothing couples at import time).
+    from repro.scenarios.registry import SCENARIOS
+
+    return sorted(SCENARIOS), SimulationConfig

@@ -1,0 +1,5 @@
+"""A deliberate violation waived by an inline pragma."""
+
+
+def debug_dump(payload):
+    print(payload)  # reprolint: disable=console

@@ -1,0 +1,8 @@
+# reprolint: module=repro.obs.fake_fixture
+"""Bad: telemetry writing back into the object it was handed."""
+
+
+def observe_run(engine, registry):
+    registry.counter("engine.runs").inc()
+    engine.last_seen = "obs"  # mutates the observed engine: not inert
+    engine.samples.append(1)  # ditto, through a method

@@ -1,0 +1,9 @@
+# reprolint: module=repro.obs.fake_fixture
+"""Good: telemetry reads the observed object and builds its own records."""
+
+
+def observe_run(engine, registry):
+    registry.counter("engine.runs").inc()
+    record = {"ticks": engine.ticks}  # obs-owned structure
+    record["policy"] = engine.policy_name
+    return record

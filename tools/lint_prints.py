@@ -1,60 +1,30 @@
 #!/usr/bin/env python
-"""Reject bare ``print()`` calls in ``src/repro`` and ``examples``.
+"""Compatibility shim: the print ban now lives in ``repro.analysis.lint``.
 
-All user-facing text must go through :class:`repro.obs.logging.Console`, which
-enforces the CLI output contract (primary output vs. decorations vs.
-diagnostics).  This walks every module's AST -- so ``print(`` inside docstrings
-and comments does not trip it -- and fails the build when a new call sneaks in.
+The standalone AST walker this file used to contain grew into the repo's
+general invariant linter -- ``python -m repro lint`` -- whose ``console``
+rule enforces the same contract (all user-facing text goes through
+:class:`repro.obs.logging.Console`) over ``src/repro``, ``tests``,
+``tools``, and ``examples``.  This shim keeps the old entry point and exit
+semantics alive for muscle memory and any scripts that still call it.
 
-Usage: ``python tools/lint_prints.py [ROOT ...]`` (default roots:
-``src/repro`` and ``examples``).
+Usage: ``python tools/lint_prints.py [ROOT ...]`` -- equivalent to
+``python -m repro lint [ROOT ...]`` restricted to the ``console`` rule.
 """
 
 from __future__ import annotations
 
-import ast
 import sys
 from pathlib import Path
 
-#: Roots linted when none are named on the command line.
-DEFAULT_ROOTS = ("src/repro", "examples")
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
 
-#: Files allowed to write to stdout/stderr directly.  The Console *is* the
-#: rendering layer, so it is the one justified user of the raw streams.
-WHITELIST = {
-    "src/repro/obs/logging.py",
-}
-
-
-def find_prints(path: Path) -> list:
-    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
-    offenders = []
-    for node in ast.walk(tree):
-        if (
-            isinstance(node, ast.Call)
-            and isinstance(node.func, ast.Name)
-            and node.func.id == "print"
-        ):
-            offenders.append(node.lineno)
-    return offenders
+from repro.analysis.lint.cli import run_lint  # noqa: E402
 
 
 def main(argv: list) -> int:
-    roots = [Path(arg) for arg in argv[1:]] or [Path(r) for r in DEFAULT_ROOTS]
-    failures = 0
-    for root in roots:
-        for path in sorted(root.rglob("*.py")):
-            relative = path.as_posix()
-            if relative in WHITELIST:
-                continue
-            for lineno in find_prints(path):
-                print(f"{relative}:{lineno}: bare print() -- use repro.obs Console")
-                failures += 1
-    if failures:
-        print(f"{failures} bare print call(s); see repro/obs/logging.py")
-        return 1
-    print(f"lint_prints: OK ({', '.join(str(root) for root in roots)})")
-    return 0
+    return run_lint(argv[1:], rules=["console"], repo_root=REPO_ROOT)
 
 
 if __name__ == "__main__":
