@@ -22,6 +22,7 @@ Layers, bottom to top::
     runtime     runtime/* except cli             (imports: base, model, obs, runtime)
     scenarios   scenarios/**                     (imports: + runtime, scenarios)
     experiments experiments/**                   (imports: + scenarios, experiments)
+    fleet       fleet/**                         (imports: + scenarios, fleet)
     app         cli, __main__, api, analysis,    (imports: anything)
                 package __init__
 
@@ -55,6 +56,7 @@ LAYERS: Dict[str, str] = {
     "repro.runtime.cli": "app",
     "repro.scenarios": "scenarios",
     "repro.experiments": "experiments",
+    "repro.fleet": "fleet",
     # Everything else under repro (package __init__, __main__, api, analysis)
     # is app-layer: free to import the whole stack.
     "repro": "app",
@@ -68,7 +70,10 @@ ALLOWED: Dict[str, Set[str]] = {
     "runtime": {"base", "model", "obs", "runtime"},
     "scenarios": {"base", "model", "obs", "runtime", "scenarios"},
     "experiments": {"base", "model", "obs", "runtime", "scenarios", "experiments"},
-    "app": {"base", "model", "obs", "runtime", "scenarios", "experiments", "app"},
+    "fleet": {"base", "model", "obs", "runtime", "scenarios", "fleet"},
+    "app": {
+        "base", "model", "obs", "runtime", "scenarios", "experiments", "fleet", "app",
+    },
 }
 
 

@@ -556,6 +556,198 @@ def _check_console(module: SourceModule) -> Iterator[Tuple[int, str]]:
 
 
 # ---------------------------------------------------------------------------
+# executor-safety: no fork-unsafe state created at module level in modules
+# worker processes import.
+# ---------------------------------------------------------------------------
+
+#: Bare constructor names whose module-level call creates fork-unsafe state.
+_FORK_UNSAFE_CONSTRUCTORS = {
+    "open": "an open file handle",
+    "Popen": "a child process",
+    "Pool": "a live process pool",
+    "ProcessPoolExecutor": "a live process pool",
+    "Thread": "a thread object",
+    "ThreadPoolExecutor": "a live thread pool",
+    "Timer": "a timer thread",
+    "socket": "a socket",
+}
+
+#: Modules whose attribute calls at module level are fork-hazards...
+_FORK_UNSAFE_MODULES = {"threading", "multiprocessing", "subprocess", "socket", "concurrent"}
+
+#: ...except these attrs: synchronization primitives (fork-safe to *create*;
+#: the child gets an unlocked copy) and pure queries that hold nothing open.
+_FORK_SAFE_ATTRS = {
+    "Lock",
+    "RLock",
+    "Event",
+    "Condition",
+    "Semaphore",
+    "BoundedSemaphore",
+    "Barrier",
+    "local",
+    "get_context",
+    "get_start_method",
+    "cpu_count",
+    "current_thread",
+    "main_thread",
+    "active_count",
+    "get_ident",
+}
+
+
+def _executor_safety_scope(module: SourceModule) -> bool:
+    """Everything a forked worker inherits: the full stack below the CLI.
+
+    ``ParallelExecutor`` forks, so workers inherit every module the parent
+    imported; the app layer (CLI, analysis tooling) is excluded because it
+    runs only in the parent and is where pools legitimately live.
+    """
+    name = module.module
+    if name is None:
+        return False
+    return layer_of(name) in {
+        "base", "model", "obs", "runtime", "scenarios", "experiments", "fleet",
+    }
+
+
+def _module_level_statements(tree: ast.Module) -> Iterator[ast.stmt]:
+    """Statements that execute at import time, outside any function or class.
+
+    Descends into module-level ``if``/``try``/``with`` (guards and probes)
+    but not into function or class bodies: state created there is lazy (or a
+    class attribute a dataclass ``field()`` manages), not import-time state.
+    """
+
+    def walk(statements: List[ast.stmt]) -> Iterator[ast.stmt]:
+        for stmt in statements:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue
+            yield stmt
+            if isinstance(stmt, ast.If):
+                yield from walk(stmt.body)
+                yield from walk(stmt.orelse)
+            elif isinstance(stmt, ast.Try):
+                yield from walk(stmt.body)
+                for handler in stmt.handlers:
+                    yield from walk(handler.body)
+                yield from walk(stmt.orelse)
+                yield from walk(stmt.finalbody)
+            elif isinstance(stmt, (ast.With, ast.For, ast.While)):
+                yield from walk(stmt.body)
+
+    yield from walk(tree.body)
+
+
+def _check_executor_safety(module: SourceModule) -> Iterator[Tuple[int, str]]:
+    seen: Set[Tuple[int, str]] = set()
+    for stmt in _module_level_statements(module.tree):
+        for node in ast.walk(stmt):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in _FORK_UNSAFE_CONSTRUCTORS:
+                what = _FORK_UNSAFE_CONSTRUCTORS[func.id]
+                seen.add(
+                    (
+                        node.lineno,
+                        f"module-level {func.id}() creates {what} at import "
+                        "time; forked workers inherit it in an undefined "
+                        "state -- create it lazily inside a function",
+                    )
+                )
+            elif isinstance(func, ast.Attribute):
+                root = _root_name(func.value)
+                if (
+                    root in _FORK_UNSAFE_MODULES
+                    and func.attr not in _FORK_SAFE_ATTRS
+                ):
+                    seen.add(
+                        (
+                            node.lineno,
+                            f"module-level {root}.{func.attr}() call at import "
+                            "time; forked workers inherit whatever it opened "
+                            "or started -- create it lazily inside a function",
+                        )
+                    )
+                elif func.attr == "start":
+                    seen.add(
+                        (
+                            node.lineno,
+                            "module-level .start() call: a thread or process "
+                            "started at import time does not survive fork "
+                            "(the child sees its locks and state, not the "
+                            "thread) -- start it lazily inside a function",
+                        )
+                    )
+    yield from sorted(seen)
+
+
+# ---------------------------------------------------------------------------
+# cache-key-hygiene: hashed payloads carry schema stamps; digests flow
+# through the one canonical encoder.
+# ---------------------------------------------------------------------------
+
+
+def _cache_key_scope(module: SourceModule) -> bool:
+    return module.module is not None
+
+
+def _check_cache_key_hygiene(module: SourceModule) -> Iterator[Tuple[int, str]]:
+    seen: Set[Tuple[int, str]] = set()
+    for node in ast.walk(module.tree):
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            # Any hashlib use outside repro.hashing bypasses canonical_json:
+            # the digest is taken over some ad-hoc encoding, so equal specs
+            # can hash unequal (and vice versa) depending on formatting.
+            if module.module == "repro.hashing":
+                continue
+            imports_hashlib = (
+                isinstance(node, ast.Import)
+                and any(alias.name == "hashlib" for alias in node.names)
+            ) or (isinstance(node, ast.ImportFrom) and node.module == "hashlib")
+            if imports_hashlib:
+                seen.add(
+                    (
+                        node.lineno,
+                        "hashlib imported outside repro.hashing; content "
+                        "hashes must flow through repro.hashing.content_hash "
+                        "(canonical_json + sha256) so equal payloads always "
+                        "hash equal",
+                    )
+                )
+        elif isinstance(node, ast.Call):
+            func = node.func
+            is_content_hash = (
+                isinstance(func, ast.Name) and func.id == "content_hash"
+            ) or (isinstance(func, ast.Attribute) and func.attr == "content_hash")
+            if not is_content_hash or not node.args:
+                continue
+            payload = node.args[0]
+            if not isinstance(payload, ast.Dict):
+                # Non-literal payloads (an object's to_dict(), a variable)
+                # carry their schema stamp at the definition site; only the
+                # inline dict literal is checkable -- and forgeable -- here.
+                continue
+            literal_keys = {
+                key.value
+                for key in payload.keys
+                if isinstance(key, ast.Constant) and isinstance(key.value, str)
+            }
+            has_splat = any(key is None for key in payload.keys)
+            if "schema" not in literal_keys and not has_splat:
+                seen.add(
+                    (
+                        node.lineno,
+                        "content_hash() payload dict has no 'schema' key; "
+                        "unversioned payloads collide across format changes "
+                        "-- stamp it with the module's *SCHEMA_VERSION",
+                    )
+                )
+    yield from sorted(seen)
+
+
+# ---------------------------------------------------------------------------
 # Registry
 # ---------------------------------------------------------------------------
 
@@ -625,6 +817,44 @@ RULES: Dict[str, LintRule] = {
             ),
             applies=_telemetry_scope,
             check=_check_telemetry_inert,
+        ),
+        LintRule(
+            name="executor-safety",
+            severity="error",
+            summary="no fork-unsafe module-level state (handles, threads, pools) in worker-imported modules",
+            rationale=(
+                "ParallelExecutor forks its workers, and a forked child "
+                "inherits every module the parent imported -- including any "
+                "file handle, socket, thread, or pool created at module "
+                "level. Handles end up shared (two processes interleaving "
+                "writes into one descriptor), threads silently do not exist "
+                "in the child while their locks carry over locked, and a "
+                "live pool inherited through fork deadlocks. Import-time "
+                "state in any module below the CLI must therefore be plain "
+                "data; handles and threads are created lazily, inside "
+                "functions, after the fork."
+            ),
+            applies=_executor_safety_scope,
+            check=_check_executor_safety,
+        ),
+        LintRule(
+            name="cache-key-hygiene",
+            severity="error",
+            summary="content_hash payloads carry a schema stamp; digests only via repro.hashing",
+            rationale=(
+                "Every cache key and spec identity is "
+                "repro.hashing.content_hash over a canonical_json encoding. "
+                "Two hygiene rules keep those keys trustworthy: an inline "
+                "payload dict must carry a 'schema' version stamp (an "
+                "unversioned payload collides with its future self when the "
+                "format changes -- returning wrong cached results instead of "
+                "recomputing), and hashlib must not be used outside "
+                "repro.hashing (an ad-hoc digest bypasses canonical_json, so "
+                "semantically equal payloads can hash unequal depending on "
+                "key order or formatting)."
+            ),
+            applies=_cache_key_scope,
+            check=_check_cache_key_hygiene,
         ),
         LintRule(
             name="console",

@@ -1,0 +1,48 @@
+"""``repro.fleet``: the sweep service layer.
+
+A long-lived service over the existing runtime: a durable content-addressed
+job queue (:mod:`repro.fleet.queue`), batched pool dispatch with fleet
+telemetry (:mod:`repro.fleet.batching`), a sharded result store with
+``spec_hash``-level sweep-report warm starts (:mod:`repro.fleet.store`), a
+metrics-driven autoscaler (:mod:`repro.fleet.autoscaler`), and the service
+loop plus submit/status/verify entry points (:mod:`repro.fleet.service`)
+behind ``repro serve`` / ``repro submit`` / ``repro fleet ...``.
+
+Layering: fleet sits above runtime and scenarios and below the CLI; nothing
+in the model or runtime layers knows the fleet exists.  The fleet never adds
+a second execution path -- workers run the same ``execute_job_with_stats``
+as a serial run, which is why fleet results are bit-identical to serial ones.
+"""
+
+from repro.fleet.autoscaler import Autoscaler, AutoscalerConfig, ScalingDecision
+from repro.fleet.batching import BatchingExecutor, BatchPlan, plan_batches
+from repro.fleet.queue import JobQueue, QueueEntry
+from repro.fleet.service import (
+    FleetConfig,
+    FleetService,
+    fleet_status,
+    resolve_campaign,
+    submit_campaign,
+    sweep_spec_hash,
+    verify_campaign,
+)
+from repro.fleet.store import ShardedResultStore
+
+__all__ = [
+    "Autoscaler",
+    "AutoscalerConfig",
+    "BatchPlan",
+    "BatchingExecutor",
+    "FleetConfig",
+    "FleetService",
+    "JobQueue",
+    "QueueEntry",
+    "ScalingDecision",
+    "ShardedResultStore",
+    "fleet_status",
+    "plan_batches",
+    "resolve_campaign",
+    "submit_campaign",
+    "sweep_spec_hash",
+    "verify_campaign",
+]

@@ -1,0 +1,237 @@
+"""A node-fleet-style scaling decision engine over executor telemetry.
+
+The autoscaler never touches the executor's internals: it consumes the same
+``executor.queue_depth`` / ``executor.in_flight`` / ``executor.workers``
+gauges every other observer reads (``obs.snapshot()`` live, or
+``timeseries.sample`` trace events recorded earlier), and emits
+:class:`ScalingDecision` objects.  The service applies them with
+``ParallelExecutor.resize``; tests replay recorded sample fixtures through
+:meth:`Autoscaler.observe` and assert on the decision table.
+
+The algorithm is the classic reactive fleet-scaling shape:
+
+* **Sustained-load windows** -- one deep-queue sample never scales anything;
+  the queue depth must sit above ``scale_up_depth`` (or below
+  ``scale_down_depth``) for ``sustained_readings`` *consecutive* samples.
+  A single sample on the other side resets the streak, so transient spikes
+  and troughs are ignored.
+* **Cooldowns** -- after a scaling event, further moves in *either* direction
+  wait out a cooldown (``scale_up_cooldown`` / ``scale_down_cooldown``,
+  asymmetric so the fleet grows eagerly and shrinks reluctantly).  On this
+  executor a resize costs a pool restart, so thrash is pure waste.
+* **Bounds** -- worker counts clamp to ``[min_workers, max_workers]``; a
+  streak that would cross a bound holds instead.
+
+All timing comes from the *samples* (``t`` from ``timeseries.sample`` events
+or monotonic sampler time), never from the wall clock, so replaying a
+recorded time series yields the identical decision sequence every run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.obs import state as obs_state
+
+__all__ = [
+    "Autoscaler",
+    "AutoscalerConfig",
+    "ScalingDecision",
+    "sample_from_snapshot",
+]
+
+
+@dataclass(frozen=True)
+class AutoscalerConfig:
+    """Thresholds, windows, cooldowns, and bounds for the decision engine."""
+
+    min_workers: int = 1
+    max_workers: int = 4
+    #: Queue depth at/above which a sample counts toward scaling up.
+    scale_up_depth: float = 8.0
+    #: Queue depth at/below which a sample counts toward scaling down
+    #: (idle-ish: in-flight work does not block a scale-down on its own).
+    scale_down_depth: float = 1.0
+    #: Consecutive qualifying samples required before either move.
+    sustained_readings: int = 2
+    #: Seconds (of sample time) to hold after any scaling event.
+    scale_up_cooldown: float = 2.0
+    scale_down_cooldown: float = 10.0
+    #: Workers added / removed per event.  Growing by more than it shrinks
+    #: is deliberate: a deep queue costs throughput now, spare workers cost
+    #: only their idle keep-alive.
+    scale_up_step: int = 2
+    scale_down_step: int = 1
+
+    def __post_init__(self) -> None:
+        if self.min_workers < 1:
+            raise ValueError("min_workers must be at least 1")
+        if self.max_workers < self.min_workers:
+            raise ValueError("max_workers must be >= min_workers")
+        if self.scale_down_depth > self.scale_up_depth:
+            raise ValueError("scale_down_depth must not exceed scale_up_depth")
+        if self.sustained_readings < 1:
+            raise ValueError("sustained_readings must be at least 1")
+        if self.scale_up_step < 1 or self.scale_down_step < 1:
+            raise ValueError("scaling steps must be at least 1")
+
+
+@dataclass(frozen=True)
+class ScalingDecision:
+    """One evaluated sample: what (if anything) the fleet should do."""
+
+    action: str  # "scale_up" | "scale_down" | "hold"
+    workers: int  # target worker count after this decision
+    previous: int
+    reason: str
+    at: float  # sample time the decision was made at
+
+    @property
+    def scaled(self) -> bool:
+        return self.action != "hold"
+
+
+def sample_from_snapshot(
+    snapshot: Mapping[str, Any], t: float
+) -> Dict[str, float]:
+    """Shape a live ``obs.snapshot()`` like a ``timeseries.sample`` event.
+
+    Lets the service feed the autoscaler from the ambient registry with the
+    exact field names recorded fixtures use, so tests and production run the
+    same :meth:`Autoscaler.observe` code path.
+    """
+    gauges = snapshot.get("gauges", {})
+    return {
+        "t": t,
+        "queue_depth": float(gauges.get("executor.queue_depth", 0.0)),
+        "in_flight": float(gauges.get("executor.in_flight", 0.0)),
+        "workers": float(gauges.get("executor.workers", 0.0)),
+    }
+
+
+@dataclass
+class Autoscaler:
+    """Feed samples in, get a :class:`ScalingDecision` per sample out."""
+
+    config: AutoscalerConfig = field(default_factory=AutoscalerConfig)
+    workers: int = 0  # current target; 0 means "adopt the first sample's"
+    _high_streak: int = field(init=False, default=0)
+    _low_streak: int = field(init=False, default=0)
+    _last_scale_at: Optional[float] = field(init=False, default=None)
+    decisions: List[ScalingDecision] = field(init=False, default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.workers:
+            self.workers = self._clamp(self.workers)
+
+    def _clamp(self, workers: int) -> int:
+        return max(self.config.min_workers, min(self.config.max_workers, workers))
+
+    def _decide(self, action: str, workers: int, reason: str, t: float) -> ScalingDecision:
+        decision = ScalingDecision(
+            action=action,
+            workers=workers,
+            previous=self.workers,
+            reason=reason,
+            at=t,
+        )
+        self.decisions.append(decision)
+        if decision.scaled:
+            self.workers = workers
+            self._last_scale_at = t
+            self._high_streak = 0
+            self._low_streak = 0
+            obs_state.counter(f"fleet.autoscaler.{action}").inc()
+        obs_state.gauge("fleet.autoscaler.target_workers").set(self.workers)
+        return decision
+
+    def observe(self, sample: Mapping[str, Any]) -> ScalingDecision:
+        """Evaluate one ``timeseries.sample``-shaped mapping.
+
+        Requires ``t`` and ``queue_depth``; ``workers`` seeds the current
+        target on the first sample if the autoscaler was not told a starting
+        size.  Returns the decision (also appended to :attr:`decisions`).
+        """
+        cfg = self.config
+        t = float(sample["t"])
+        depth = float(sample["queue_depth"])
+        if self.workers == 0:
+            self.workers = self._clamp(int(sample.get("workers") or 0) or cfg.min_workers)
+
+        # Streak accounting happens before cooldown gating so that load
+        # sustained *through* a cooldown acts the moment the cooldown ends.
+        if depth >= cfg.scale_up_depth:
+            self._high_streak += 1
+            self._low_streak = 0
+        elif depth <= cfg.scale_down_depth:
+            self._low_streak += 1
+            self._high_streak = 0
+        else:
+            self._high_streak = 0
+            self._low_streak = 0
+
+        if self._high_streak >= cfg.sustained_readings:
+            if self._last_scale_at is not None:
+                elapsed = t - self._last_scale_at
+                if elapsed < cfg.scale_up_cooldown:
+                    return self._decide(
+                        "hold",
+                        self.workers,
+                        f"scale-up wanted but cooling down "
+                        f"({elapsed:.1f}s < {cfg.scale_up_cooldown:.1f}s)",
+                        t,
+                    )
+            target = self._clamp(self.workers + cfg.scale_up_step)
+            if target == self.workers:
+                return self._decide(
+                    "hold",
+                    self.workers,
+                    f"queue depth {depth:.0f} sustained but already at "
+                    f"max_workers={cfg.max_workers}",
+                    t,
+                )
+            return self._decide(
+                "scale_up",
+                target,
+                f"queue depth {depth:.0f} >= {cfg.scale_up_depth:.0f} for "
+                f"{self._high_streak} consecutive samples",
+                t,
+            )
+
+        if self._low_streak >= cfg.sustained_readings:
+            if self._last_scale_at is not None:
+                elapsed = t - self._last_scale_at
+                if elapsed < cfg.scale_down_cooldown:
+                    return self._decide(
+                        "hold",
+                        self.workers,
+                        f"scale-down wanted but cooling down "
+                        f"({elapsed:.1f}s < {cfg.scale_down_cooldown:.1f}s)",
+                        t,
+                    )
+            target = self._clamp(self.workers - cfg.scale_down_step)
+            if target == self.workers:
+                return self._decide(
+                    "hold",
+                    self.workers,
+                    f"queue depth {depth:.0f} idle but already at "
+                    f"min_workers={cfg.min_workers}",
+                    t,
+                )
+            return self._decide(
+                "scale_down",
+                target,
+                f"queue depth {depth:.0f} <= {cfg.scale_down_depth:.0f} for "
+                f"{self._low_streak} consecutive samples",
+                t,
+            )
+
+        streak = max(self._high_streak, self._low_streak)
+        return self._decide(
+            "hold",
+            self.workers,
+            f"queue depth {depth:.0f}: no sustained signal "
+            f"(streak {streak}/{cfg.sustained_readings})",
+            t,
+        )

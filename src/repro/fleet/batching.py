@@ -1,0 +1,103 @@
+"""Batched dispatch planning and the fleet's instrumented executor.
+
+``ParallelExecutor`` already packs jobs into per-submission batches (the
+amortization itself lives in the runtime layer, where *every* caller gets
+it).  What the fleet adds on top is the part a service operator sees:
+
+* :func:`plan_batches` -- a pure function from (jobs, batch size, workers) to
+  the exact dispatch plan, so the batching a ``--batch-size`` flag produces
+  can be printed, asserted on in tests, and reasoned about without running
+  anything; and
+
+* :class:`BatchingExecutor` -- a ``ParallelExecutor`` that emits ``fleet.*``
+  metrics (dispatches, jobs dispatched, batch-size histogram) around each
+  ``_execute_many``, feeding the same ``obs.snapshot()`` the autoscaler and
+  ``repro fleet status`` read.
+
+Neither changes what executes: the leaf executor remains ``ParallelExecutor``
+running ``execute_job_with_stats`` per job, which is why fleet results stay
+bit-identical to serial ones at any batch size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.obs import state as obs_state
+from repro.runtime.executor import ParallelExecutor, auto_batch_size
+from repro.runtime.jobs import Job
+
+__all__ = ["BatchPlan", "BatchingExecutor", "plan_batches"]
+
+
+@dataclass(frozen=True)
+class BatchPlan:
+    """The dispatch shape a job list will take: sizes, not contents."""
+
+    batch_size: int
+    batches: Tuple[int, ...]
+
+    @property
+    def dispatches(self) -> int:
+        """Pool submissions (== pickle/IPC round trips) the plan pays."""
+        return len(self.batches)
+
+    @property
+    def jobs(self) -> int:
+        return sum(self.batches)
+
+    @property
+    def amortization(self) -> float:
+        """Mean jobs per dispatch -- 1.0 means no batching benefit at all."""
+        return self.jobs / self.dispatches if self.batches else 0.0
+
+
+def plan_batches(
+    jobs: Sequence[Job],
+    batch_size: Optional[int] = None,
+    workers: int = 1,
+) -> BatchPlan:
+    """How ``ParallelExecutor`` will slice ``jobs`` into submissions.
+
+    ``batch_size=None`` mirrors the executor's auto-sizing
+    (:func:`repro.runtime.executor.auto_batch_size`); an explicit size mirrors
+    ``--batch-size``.  Pure and deterministic: same inputs, same plan.
+    """
+    if batch_size is not None and batch_size < 1:
+        raise ValueError("batch_size must be at least 1 (or None for auto)")
+    size = batch_size or auto_batch_size(len(jobs), workers)
+    sizes = tuple(
+        min(size, len(jobs) - start) for start in range(0, len(jobs), size)
+    )
+    return BatchPlan(batch_size=size, batches=sizes)
+
+
+@dataclass
+class BatchingExecutor(ParallelExecutor):
+    """``ParallelExecutor`` with fleet-level dispatch telemetry.
+
+    Emits, per ``_execute_many`` round (all no-ops while telemetry is off):
+
+    * ``fleet.dispatches`` -- pool submissions planned this round
+    * ``fleet.jobs_dispatched`` -- jobs covered by those submissions
+    * ``fleet.batch_size`` histogram -- the per-round effective batch size
+
+    Execution is entirely inherited; this class adds observation only.
+    """
+
+    def _execute_many(
+        self,
+        jobs: List[Job],
+        on_executed: Callable[..., None],
+    ) -> None:
+        # max_workers == 1 takes the inherited in-process path: no pool
+        # submissions happen, so recording "dispatches" would be a lie.
+        if obs_state.enabled() and jobs and self.max_workers > 1:
+            plan = plan_batches(
+                jobs, batch_size=self.batch_size, workers=self.max_workers
+            )
+            obs_state.counter("fleet.dispatches").inc(plan.dispatches)
+            obs_state.counter("fleet.jobs_dispatched").inc(plan.jobs)
+            obs_state.histogram("fleet.batch_size").observe(plan.batch_size)
+        super()._execute_many(jobs, on_executed)

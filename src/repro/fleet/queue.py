@@ -1,0 +1,388 @@
+"""The durable job queue behind ``repro serve`` / ``repro submit``.
+
+Every queue entry is one JSON file named by the job's content hash, written
+atomically (same-directory temp file + ``os.replace``) on every state
+transition -- a killed service or submitter never leaves a truncated entry,
+and the queue's full state survives process restarts by construction.
+Submitters (``repro submit``) and the service (``repro serve``) are separate
+processes sharing nothing but the queue directory; the service discovers new
+entries by rescanning it each poll.
+
+An entry moves through four states::
+
+    queued --lease()--> leased --complete()--> done
+       ^                  |
+       |                  +--fail() / lease timeout--+
+       +--(attempts left)--------------------------- +--> failed (exhausted)
+
+Leases carry a deadline: a worker that dies mid-job simply stops renewing,
+:meth:`JobQueue.requeue_expired` flips the entry back to ``queued`` (or to
+``failed`` once ``max_attempts`` is spent), and another turn of the service
+loop picks it up.  Dispatch order is priority first (higher sooner), then
+submission sequence -- a FIFO within each priority band.
+
+Deduplication happens **before** anything is enqueued: a job whose hash is
+already live in the queue is returned as-is, and a job whose result already
+sits in the shared :class:`~repro.fleet.store.ShardedResultStore` is recorded
+straight to ``done`` (``note="store-hit"``) without ever touching a worker.
+Jobs are content-addressed, so two racing submitters at worst both write the
+same entry -- never conflicting ones.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.runtime.jobs import Job, job_from_dict
+
+__all__ = [
+    "FLEET_QUEUE_SCHEMA_VERSION",
+    "JobQueue",
+    "QueueEntry",
+    "STATE_DONE",
+    "STATE_FAILED",
+    "STATE_LEASED",
+    "STATE_QUEUED",
+]
+
+#: Version stamp on every entry file; mismatched entries are ignored.
+FLEET_QUEUE_SCHEMA_VERSION = 1
+
+STATE_QUEUED = "queued"
+STATE_LEASED = "leased"
+STATE_DONE = "done"
+STATE_FAILED = "failed"
+
+#: All states, in lifecycle order (used by ``counts()`` and the status CLI).
+STATES = (STATE_QUEUED, STATE_LEASED, STATE_DONE, STATE_FAILED)
+
+
+@dataclass(frozen=True)
+class QueueEntry:
+    """One durable queue record; the job payload rides along in full."""
+
+    job_hash: str
+    job: Dict[str, Any]
+    priority: int
+    seq: int
+    state: str
+    attempts: int = 0
+    lease_deadline: Optional[float] = None
+    worker: Optional[str] = None
+    error: Optional[str] = None
+    note: Optional[str] = None
+
+    def build_job(self) -> Job:
+        """Rehydrate the executable job from its serialized payload."""
+        return job_from_dict(self.job)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": FLEET_QUEUE_SCHEMA_VERSION,
+            "job_hash": self.job_hash,
+            "job": self.job,
+            "priority": self.priority,
+            "seq": self.seq,
+            "state": self.state,
+            "attempts": self.attempts,
+            "lease_deadline": self.lease_deadline,
+            "worker": self.worker,
+            "error": self.error,
+            "note": self.note,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "QueueEntry":
+        return cls(
+            job_hash=data["job_hash"],
+            job=data["job"],
+            priority=int(data["priority"]),
+            seq=int(data["seq"]),
+            state=data["state"],
+            attempts=int(data.get("attempts", 0)),
+            lease_deadline=data.get("lease_deadline"),
+            worker=data.get("worker"),
+            error=data.get("error"),
+            note=data.get("note"),
+        )
+
+
+class _SeqLock:
+    """A directory-level ``O_EXCL`` lockfile guarding the sequence counter.
+
+    Held for microseconds per submit; a lock older than ``stale_after`` is
+    treated as abandoned (a submitter killed between create and unlink) and
+    broken.
+    """
+
+    def __init__(self, path: Path, stale_after: float = 10.0) -> None:
+        self.path = path
+        self.stale_after = stale_after
+
+    def __enter__(self) -> "_SeqLock":
+        while True:
+            try:
+                descriptor = os.open(
+                    self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY
+                )
+                os.close(descriptor)
+                return self
+            except FileExistsError:
+                try:
+                    held_for = time.time() - self.path.stat().st_mtime
+                    if held_for > self.stale_after:
+                        self.path.unlink()
+                        continue
+                except OSError:
+                    continue  # holder released between the open and the stat
+                time.sleep(0.005)
+
+    def __exit__(self, *exc_info: Any) -> None:
+        try:
+            self.path.unlink()
+        except OSError:
+            pass
+
+
+@dataclass
+class JobQueue:
+    """Durable priority/FIFO queue rooted at ``root``."""
+
+    root: Path
+    lease_timeout: float = 60.0
+    max_attempts: int = 3
+    _entries_dir: Path = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root)
+        if self.lease_timeout <= 0:
+            raise ValueError("lease_timeout must be positive")
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        self._entries_dir = self.root / "entries"
+        self._entries_dir.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # Durable primitives
+    # ------------------------------------------------------------------
+    def _entry_path(self, job_hash: str) -> Path:
+        return self._entries_dir / f"{job_hash}.json"
+
+    def _write(self, entry: QueueEntry) -> None:
+        # Imported here, not at module top, purely to reuse one atomic-write
+        # helper; the layering is fleet->fleet either way.
+        from repro.fleet.store import _atomic_write_json
+
+        _atomic_write_json(self._entry_path(entry.job_hash), entry.to_dict())
+
+    def _read(self, path: Path) -> Optional[QueueEntry]:
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if (
+            not isinstance(data, dict)
+            or data.get("schema") != FLEET_QUEUE_SCHEMA_VERSION
+        ):
+            return None
+        try:
+            return QueueEntry.from_dict(data)
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def _next_seq(self) -> int:
+        counter = self.root / "seq"
+        with _SeqLock(self.root / "seq.lock"):
+            try:
+                value = int(counter.read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                value = 0
+            counter.write_text(str(value + 1), encoding="utf-8")
+        return value
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def get(self, job_hash: str) -> Optional[QueueEntry]:
+        return self._read(self._entry_path(job_hash))
+
+    def entries(self) -> List[QueueEntry]:
+        """Every readable entry, rescanned from disk (sorted by dispatch
+        order: priority desc, then submission sequence)."""
+        found = []
+        for path in sorted(self._entries_dir.glob("*.json")):
+            entry = self._read(path)
+            if entry is not None:
+                found.append(entry)
+        found.sort(key=lambda entry: (-entry.priority, entry.seq))
+        return found
+
+    def counts(self) -> Dict[str, int]:
+        """Entry counts per state (every state present, zero included)."""
+        totals = {state: 0 for state in STATES}
+        for entry in self.entries():
+            totals[entry.state] = totals.get(entry.state, 0) + 1
+        return totals
+
+    def drained(self) -> bool:
+        """True when no entry is waiting or running."""
+        totals = self.counts()
+        return totals[STATE_QUEUED] == 0 and totals[STATE_LEASED] == 0
+
+    # ------------------------------------------------------------------
+    # Producer side
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        job: Job,
+        priority: int = 0,
+        store: Optional[Any] = None,
+    ) -> QueueEntry:
+        """Enqueue ``job`` unless it is already live or already answered.
+
+        ``store`` is the shared result store dedup consults: a job whose
+        result is already on disk is recorded straight to ``done``.  Returns
+        the (possibly pre-existing) entry either way.
+        """
+        job_hash = job.content_hash
+        existing = self.get(job_hash)
+        if existing is not None and existing.state != STATE_FAILED:
+            return existing
+        if store is not None and store.has_job(job_hash):
+            entry = QueueEntry(
+                job_hash=job_hash,
+                job=job.to_dict(),
+                priority=priority,
+                seq=self._next_seq(),
+                state=STATE_DONE,
+                note="store-hit",
+            )
+            self._write(entry)
+            return entry
+        entry = QueueEntry(
+            job_hash=job_hash,
+            job=job.to_dict(),
+            priority=priority,
+            seq=self._next_seq(),
+            state=STATE_QUEUED,
+        )
+        self._write(entry)
+        return entry
+
+    def submit_many(
+        self,
+        jobs: List[Job],
+        priority: int = 0,
+        store: Optional[Any] = None,
+    ) -> Dict[str, int]:
+        """Submit a batch; returns ``{enqueued, deduped_store, deduped_queue}``."""
+        accounting = {"enqueued": 0, "deduped_store": 0, "deduped_queue": 0}
+        seen_before = {
+            entry.job_hash for entry in self.entries() if entry.state != STATE_FAILED
+        }
+        for job in jobs:
+            job_hash = job.content_hash
+            if job_hash in seen_before:
+                accounting["deduped_queue"] += 1
+                continue
+            seen_before.add(job_hash)
+            entry = self.submit(job, priority=priority, store=store)
+            if entry.note == "store-hit":
+                accounting["deduped_store"] += 1
+            else:
+                accounting["enqueued"] += 1
+        return accounting
+
+    # ------------------------------------------------------------------
+    # Consumer side
+    # ------------------------------------------------------------------
+    def lease(
+        self,
+        limit: int = 1,
+        worker: str = "worker",
+        now: Optional[float] = None,
+    ) -> List[QueueEntry]:
+        """Claim up to ``limit`` queued entries for ``worker``.
+
+        Each lease carries ``now + lease_timeout`` as its deadline and counts
+        one attempt.  ``now`` is injectable so tests drive lease expiry
+        without sleeping.
+        """
+        if limit < 1:
+            raise ValueError("lease limit must be at least 1")
+        now = time.time() if now is None else now
+        leased: List[QueueEntry] = []
+        for entry in self.entries():
+            if len(leased) >= limit:
+                break
+            if entry.state != STATE_QUEUED:
+                continue
+            claimed = replace(
+                entry,
+                state=STATE_LEASED,
+                attempts=entry.attempts + 1,
+                lease_deadline=now + self.lease_timeout,
+                worker=worker,
+            )
+            self._write(claimed)
+            leased.append(claimed)
+        return leased
+
+    def complete(self, job_hash: str) -> QueueEntry:
+        """Mark a leased entry done (idempotent for already-done entries)."""
+        entry = self.get(job_hash)
+        if entry is None:
+            raise KeyError(f"no queue entry for {job_hash}")
+        if entry.state == STATE_DONE:
+            return entry
+        finished = replace(
+            entry, state=STATE_DONE, lease_deadline=None, error=None
+        )
+        self._write(finished)
+        return finished
+
+    def fail(self, job_hash: str, error: str) -> QueueEntry:
+        """Record a failed attempt: back to ``queued``, or ``failed`` when
+        ``max_attempts`` is exhausted."""
+        entry = self.get(job_hash)
+        if entry is None:
+            raise KeyError(f"no queue entry for {job_hash}")
+        exhausted = entry.attempts >= self.max_attempts
+        failed = replace(
+            entry,
+            state=STATE_FAILED if exhausted else STATE_QUEUED,
+            lease_deadline=None,
+            worker=None,
+            error=error,
+        )
+        self._write(failed)
+        return failed
+
+    def requeue_expired(self, now: Optional[float] = None) -> int:
+        """Return timed-out leases to the queue; exhausted ones fail.
+
+        The service calls this once per poll, so a worker crash costs at most
+        one lease timeout before the job runs elsewhere.
+        """
+        now = time.time() if now is None else now
+        recovered = 0
+        for entry in self.entries():
+            if entry.state != STATE_LEASED:
+                continue
+            if entry.lease_deadline is not None and entry.lease_deadline > now:
+                continue
+            self.fail(
+                entry.job_hash,
+                error=(
+                    f"lease expired after attempt {entry.attempts} "
+                    f"(worker {entry.worker or 'unknown'})"
+                ),
+            )
+            recovered += 1
+        return recovered

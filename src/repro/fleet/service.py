@@ -1,0 +1,513 @@
+"""The sweep service: campaigns in, bit-identical sweep reports out.
+
+One fleet directory is the whole coordination surface::
+
+    <root>/
+      queue/      durable job queue (repro.fleet.queue)
+      store/      sharded result store (repro.fleet.store)
+      campaigns/  submitted sweep manifests, one per spec_hash
+      service.json   service heartbeat (pid, workers, queue counts)
+
+``repro submit`` resolves a named campaign to jobs, writes a **manifest**
+(campaign name + ordered job hashes, keyed by the sweep's ``spec_hash``), and
+enqueues the jobs -- deduplicating against both the live queue and results
+already in the store.  A campaign whose report already exists is a pure warm
+start: nothing is enqueued at all.
+
+``repro serve`` runs :class:`FleetService`: each poll it recovers expired
+leases, leases a slice of the queue, runs it through a
+:class:`~repro.fleet.batching.BatchingExecutor` writing straight into the
+store's job namespace, marks entries done, finalizes any manifest whose jobs
+have all landed into a ``spec_hash``-keyed sweep report, and lets the
+:class:`~repro.fleet.autoscaler.Autoscaler` resize the pool from observed
+queue depth.
+
+Determinism contract: the service orchestrates *which* jobs run where and
+when, but every job still executes ``execute_job_with_stats`` and every
+result payload is the job's pure function of its spec -- so fleet-run
+payloads and reports are bit-identical to a serial run of the same campaign
+(:func:`verify_campaign` asserts exactly that, and CI runs it).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.fleet.autoscaler import Autoscaler, AutoscalerConfig
+from repro.fleet.batching import BatchingExecutor
+from repro.fleet.queue import STATE_FAILED, STATE_LEASED, STATE_QUEUED, JobQueue
+from repro.fleet.store import (
+    FLEET_SCHEMA_VERSION,
+    ShardedResultStore,
+    _atomic_write_json,
+)
+from repro.hashing import content_hash
+from repro.obs import state as obs_state
+from repro.runtime.campaign import CAMPAIGNS, Campaign
+from repro.runtime.executor import SerialExecutor
+from repro.runtime.jobs import SimSpec
+
+__all__ = [
+    "FleetConfig",
+    "FleetPaths",
+    "FleetService",
+    "fleet_status",
+    "resolve_campaign",
+    "submit_campaign",
+    "sweep_spec_hash",
+    "verify_campaign",
+]
+
+
+# ---------------------------------------------------------------------------
+# Layout and sweep identity
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FleetPaths:
+    """Where a fleet directory keeps each piece of shared state."""
+
+    root: Path
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "root", Path(self.root))
+
+    @property
+    def queue_dir(self) -> Path:
+        return self.root / "queue"
+
+    @property
+    def store_dir(self) -> Path:
+        return self.root / "store"
+
+    @property
+    def campaigns_dir(self) -> Path:
+        return self.root / "campaigns"
+
+    @property
+    def heartbeat(self) -> Path:
+        return self.root / "service.json"
+
+
+def sweep_spec_hash(campaign: Campaign) -> str:
+    """The sweep's identity: what was asked for, not what came back.
+
+    Hashes the campaign name plus the *ordered* job hashes under a schema
+    stamp.  Two submissions asking for the same jobs in the same order share
+    one report; capping ``max_simulated_time`` or swapping a policy changes
+    every job hash and therefore the spec hash.
+    """
+    return content_hash(
+        {
+            "schema": FLEET_SCHEMA_VERSION,
+            "kind": "fleet_sweep",
+            "campaign": campaign.name,
+            "jobs": [job.content_hash for job in campaign.jobs],
+        }
+    )
+
+
+def resolve_campaign(
+    name: str, quick: bool = False, max_time: Optional[float] = None
+) -> Campaign:
+    """A named catalog campaign, optionally capped for smoke runs."""
+    try:
+        factory = CAMPAIGNS[name]
+    except KeyError:
+        known = ", ".join(sorted(CAMPAIGNS))
+        raise KeyError(f"unknown campaign {name!r} (known: {known})") from None
+    campaign = factory(quick=quick)
+    if max_time is not None:
+        campaign = campaign.with_sim(SimSpec(max_simulated_time=max_time))
+    return campaign
+
+
+def build_sweep_report(
+    campaign_name: str,
+    spec_hash: str,
+    job_hashes: List[str],
+    results: Dict[str, Dict[str, Any]],
+) -> Dict[str, Any]:
+    """The canonical sweep-report document (pure function of its inputs)."""
+    return {
+        "schema": FLEET_SCHEMA_VERSION,
+        "campaign": campaign_name,
+        "spec_hash": spec_hash,
+        "jobs": list(job_hashes),
+        "results": {job_hash: results[job_hash] for job_hash in job_hashes},
+    }
+
+
+# ---------------------------------------------------------------------------
+# Producer side (repro submit)
+# ---------------------------------------------------------------------------
+
+
+def submit_campaign(
+    root: Path,
+    campaign: Campaign,
+    priority: int = 0,
+    lease_timeout: float = 60.0,
+    max_attempts: int = 3,
+) -> Dict[str, Any]:
+    """Submit a campaign's jobs to the fleet directory at ``root``.
+
+    Writes the manifest, then enqueues jobs with store/queue dedup.  If the
+    sweep's report is already stored, this is a pure warm start: no jobs are
+    enqueued and ``warm_start`` is true in the returned summary.
+    """
+    paths = FleetPaths(Path(root))
+    store = ShardedResultStore(paths.store_dir)
+    queue = JobQueue(
+        paths.queue_dir, lease_timeout=lease_timeout, max_attempts=max_attempts
+    )
+    spec_hash = sweep_spec_hash(campaign)
+    job_hashes = [job.content_hash for job in campaign.jobs]
+    manifest = {
+        "schema": FLEET_SCHEMA_VERSION,
+        "kind": "fleet_manifest",
+        "campaign": campaign.name,
+        "spec_hash": spec_hash,
+        "jobs": job_hashes,
+    }
+    _atomic_write_json(paths.campaigns_dir / f"{spec_hash}.json", manifest)
+
+    summary: Dict[str, Any] = {
+        "campaign": campaign.name,
+        "spec_hash": spec_hash,
+        "jobs": len(job_hashes),
+        "warm_start": store.get_report(spec_hash) is not None,
+        "enqueued": 0,
+        "deduped_store": 0,
+        "deduped_queue": 0,
+    }
+    if summary["warm_start"]:
+        return summary
+    accounting = queue.submit_many(
+        list(campaign.jobs), priority=priority, store=store
+    )
+    summary.update(accounting)
+    obs_state.counter("fleet.submitted_jobs").inc(accounting["enqueued"])
+    return summary
+
+
+# ---------------------------------------------------------------------------
+# The service loop (repro serve)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Every knob ``repro serve`` exposes, in one place."""
+
+    root: Path
+    workers: int = 2
+    batch_size: Optional[int] = None
+    poll_interval: float = 0.2
+    lease_timeout: float = 60.0
+    #: Jobs leased (and handed to the executor) per poll.
+    lease_limit: int = 64
+    max_attempts: int = 3
+    autoscale: bool = True
+    autoscaler: AutoscalerConfig = field(default_factory=AutoscalerConfig)
+    #: Drain mode: exit once the queue is empty and every manifest is
+    #: finalized (after waiting up to ``drain_grace`` seconds for the first
+    #: work to appear).  This is what CI and tests run.
+    drain: bool = False
+    drain_grace: float = 10.0
+    #: Non-drain services exit after this many seconds with nothing to do
+    #: (None = run until killed).
+    idle_timeout: Optional[float] = None
+
+
+class FleetService:
+    """A long-lived worker loop over one fleet directory."""
+
+    def __init__(self, config: FleetConfig) -> None:
+        self.config = config
+        self.paths = FleetPaths(Path(config.root))
+        self.store = ShardedResultStore(self.paths.store_dir)
+        self.queue = JobQueue(
+            self.paths.queue_dir,
+            lease_timeout=config.lease_timeout,
+            max_attempts=config.max_attempts,
+        )
+        self.executor = BatchingExecutor(
+            max_workers=config.workers, batch_size=config.batch_size
+        )
+        self.autoscaler = Autoscaler(
+            config=config.autoscaler, workers=self.executor.max_workers
+        )
+        self.worker_name = f"service-{os.getpid()}"
+        self.rounds = 0
+        self.jobs_run = 0
+        self.reports_finalized = 0
+
+    # -- one poll's worth of work ---------------------------------------
+    def run_once(self, now: Optional[float] = None) -> int:
+        """Recover, lease, execute, complete, finalize, autoscale -- once.
+
+        Returns the number of jobs executed (0 means the poll found nothing).
+        ``now`` is injectable for tests; the default is the wall clock, which
+        only ever gates *scheduling* (leases, cooldowns), never results.
+        """
+        now = time.time() if now is None else now
+        self.rounds += 1
+        self.queue.requeue_expired(now=now)
+        leased = self.queue.lease(
+            limit=self.config.lease_limit, worker=self.worker_name, now=now
+        )
+        if leased:
+            jobs = [entry.build_job() for entry in leased]
+            try:
+                self.executor.run(jobs, cache=self.store.job_cache())
+            except Exception as error:  # noqa: BLE001 - any job failure
+                for entry in leased:
+                    self.queue.fail(entry.job_hash, error=repr(error))
+                raise
+            for entry in leased:
+                self.queue.complete(entry.job_hash)
+            self.jobs_run += len(leased)
+            obs_state.counter("fleet.jobs_completed").inc(len(leased))
+        self.reports_finalized += self.finalize_reports()
+        if self.config.autoscale:
+            self._autoscale_tick(now)
+        self._write_heartbeat(now)
+        return len(leased)
+
+    def _autoscale_tick(self, now: float) -> None:
+        counts = self.queue.counts()
+        decision = self.autoscaler.observe(
+            {
+                "t": now,
+                "queue_depth": counts["queued"],
+                "in_flight": counts["leased"],
+                "workers": self.executor.max_workers,
+            }
+        )
+        if decision.scaled:
+            self.executor.resize(decision.workers)
+
+    def finalize_reports(self) -> int:
+        """Turn fully-landed manifests into stored ``spec_hash`` reports."""
+        finalized = 0
+        if not self.paths.campaigns_dir.is_dir():
+            return 0
+        for path in sorted(self.paths.campaigns_dir.glob("*.json")):
+            try:
+                with path.open("r", encoding="utf-8") as handle:
+                    manifest = json.load(handle)
+            except (OSError, ValueError):
+                continue
+            if (
+                not isinstance(manifest, dict)
+                or manifest.get("schema") != FLEET_SCHEMA_VERSION
+                or manifest.get("kind") != "fleet_manifest"
+            ):
+                continue
+            spec_hash = manifest["spec_hash"]
+            if self.store.get_report(spec_hash) is not None:
+                continue
+            job_hashes = list(manifest["jobs"])
+            results: Dict[str, Dict[str, Any]] = {}
+            complete = True
+            for job_hash in job_hashes:
+                payload = self.store.job_payload(job_hash)
+                if payload is None:
+                    complete = False
+                    break
+                results[job_hash] = payload
+            if not complete:
+                continue
+            self.store.put_report(
+                spec_hash,
+                build_sweep_report(
+                    manifest["campaign"], spec_hash, job_hashes, results
+                ),
+            )
+            finalized += 1
+        return finalized
+
+    def _pending_manifests(self) -> int:
+        """Manifests whose reports are not stored yet."""
+        if not self.paths.campaigns_dir.is_dir():
+            return 0
+        pending = 0
+        for path in self.paths.campaigns_dir.glob("*.json"):
+            spec_hash = path.stem
+            if self.store.get_report(spec_hash) is None:
+                pending += 1
+        return pending
+
+    def _write_heartbeat(self, now: float) -> None:
+        _atomic_write_json(
+            self.paths.heartbeat,
+            {
+                "schema": FLEET_SCHEMA_VERSION,
+                "pid": os.getpid(),
+                "worker": self.worker_name,
+                "updated_unix": now,
+                "workers": self.executor.max_workers,
+                "rounds": self.rounds,
+                "jobs_run": self.jobs_run,
+                "queue": self.queue.counts(),
+            },
+        )
+
+    def drained(self) -> bool:
+        """Nothing queued, nothing leased, every manifest reported."""
+        return self.queue.drained() and self._pending_manifests() == 0
+
+    def serve_forever(self) -> Dict[str, Any]:
+        """The ``repro serve`` loop; returns a summary when it exits.
+
+        Drain mode waits up to ``drain_grace`` for work to first appear, then
+        exits as soon as the directory is fully drained -- the shape CI's
+        background-service smoke test relies on.  Otherwise the loop runs
+        until ``idle_timeout`` (if set) elapses with nothing to do.
+        """
+        config = self.config
+        started = time.time()
+        saw_work = False
+        idle_since: Optional[float] = None
+        try:
+            while True:
+                executed = self.run_once()
+                now = time.time()
+                if executed:
+                    saw_work = True
+                    idle_since = None
+                    continue
+                counts = self.queue.counts()
+                queue_empty = (
+                    counts[STATE_QUEUED] == 0 and counts[STATE_LEASED] == 0
+                )
+                if self.drained():
+                    if config.drain and (saw_work or now - started >= config.drain_grace):
+                        break
+                    if idle_since is None:
+                        idle_since = now
+                    if (
+                        config.idle_timeout is not None
+                        and now - idle_since >= config.idle_timeout
+                    ):
+                        break
+                elif config.drain and queue_empty and counts[STATE_FAILED] > 0:
+                    # Manifests are pending but their jobs have permanently
+                    # failed: draining further cannot make progress.  Exit and
+                    # let the status/verify side report the failures.
+                    break
+                time.sleep(config.poll_interval)
+        finally:
+            self.executor.close()
+        return {
+            "rounds": self.rounds,
+            "jobs_run": self.jobs_run,
+            "reports_finalized": self.reports_finalized,
+            "drained": self.drained(),
+            "workers": self.executor.max_workers,
+            "scaling_events": sum(
+                1 for decision in self.autoscaler.decisions if decision.scaled
+            ),
+        }
+
+
+# ---------------------------------------------------------------------------
+# Status and verification (repro fleet ...)
+# ---------------------------------------------------------------------------
+
+
+def fleet_status(root: Path) -> Dict[str, Any]:
+    """A JSON-friendly snapshot of one fleet directory's state."""
+    paths = FleetPaths(Path(root))
+    store = ShardedResultStore(paths.store_dir)
+    queue = JobQueue(paths.queue_dir)
+    campaigns = []
+    if paths.campaigns_dir.is_dir():
+        for path in sorted(paths.campaigns_dir.glob("*.json")):
+            try:
+                with path.open("r", encoding="utf-8") as handle:
+                    manifest = json.load(handle)
+            except (OSError, ValueError):
+                continue
+            if not isinstance(manifest, dict) or "jobs" not in manifest:
+                continue
+            job_hashes = list(manifest["jobs"])
+            landed = sum(1 for h in job_hashes if store.has_job(h))
+            campaigns.append(
+                {
+                    "campaign": manifest.get("campaign"),
+                    "spec_hash": manifest.get("spec_hash"),
+                    "jobs": len(job_hashes),
+                    "landed": landed,
+                    "reported": store.get_report(path.stem) is not None,
+                }
+            )
+    service: Optional[Dict[str, Any]] = None
+    try:
+        with paths.heartbeat.open("r", encoding="utf-8") as handle:
+            beat = json.load(handle)
+        if isinstance(beat, dict):
+            service = beat
+    except (OSError, ValueError):
+        service = None
+    counts = queue.counts()
+    return {
+        "root": str(paths.root),
+        "queue": counts,
+        "drained": counts["queued"] == 0
+        and counts["leased"] == 0
+        and all(entry["reported"] for entry in campaigns),
+        "store": store.stats(),
+        "campaigns": campaigns,
+        "service": service,
+    }
+
+
+def verify_campaign(root: Path, campaign: Campaign) -> Dict[str, Any]:
+    """Check fleet results for ``campaign`` against a serial re-run.
+
+    Runs every campaign job serially (through the same cache-free path) and
+    compares payload content hashes job by job, plus the stored sweep report
+    against a freshly built one.  This is the executable form of the fleet's
+    bit-identity guarantee; CI runs it after the smoke sweep.
+    """
+    store = ShardedResultStore(FleetPaths(Path(root)).store_dir)
+    spec_hash = sweep_spec_hash(campaign)
+    serial_report = SerialExecutor().run(campaign.jobs)
+    mismatched: List[str] = []
+    missing: List[str] = []
+    serial_results: Dict[str, Dict[str, Any]] = {}
+    for outcome in serial_report.outcomes:
+        job_hash = outcome.job.content_hash
+        serial_results[job_hash] = outcome.payload
+        stored = store.job_payload(job_hash)
+        if stored is None:
+            missing.append(job_hash)
+        elif content_hash(stored) != content_hash(outcome.payload):
+            mismatched.append(job_hash)
+    stored_report = store.get_report(spec_hash)
+    expected_report = build_sweep_report(
+        campaign.name,
+        spec_hash,
+        [job.content_hash for job in campaign.jobs],
+        serial_results,
+    )
+    report_ok = stored_report is not None and content_hash(
+        stored_report
+    ) == content_hash(expected_report)
+    return {
+        "campaign": campaign.name,
+        "spec_hash": spec_hash,
+        "jobs": len(campaign.jobs),
+        "missing": missing,
+        "mismatched": mismatched,
+        "report_ok": report_ok,
+        "ok": not missing and not mismatched and report_ok,
+    }

@@ -71,6 +71,10 @@ TIMING_METRICS: Sequence[Tuple[str, Optional[str]]] = (
     ("results.jobs_serial.warm_jobs_per_second", None),
     ("results.jobs_parallel.cold_jobs_per_second", None),
     ("results.jobs_parallel.pool_reuse_jobs_per_second", None),
+    # jobs_batched first appears in BENCH_8; absent-in-baseline metrics are
+    # skipped by compare_documents, so older baselines still compare cleanly.
+    ("results.jobs_batched.cold_jobs_per_second", None),
+    ("results.jobs_batched.pool_reuse_jobs_per_second", None),
 )
 
 #: Boolean fields that must be ``True`` in the *current* document.
@@ -80,6 +84,9 @@ STRICT_FLAGS: Sequence[str] = (
     "results.engine_telemetry.bit_identical",
     "results.jobs_serial.bit_identical",
     "results.jobs_parallel.bit_identical",
+    # Absent in pre-BENCH_8 documents; strict flags are only enforced when
+    # the current document carries them.
+    "results.jobs_batched.bit_identical",
 )
 
 

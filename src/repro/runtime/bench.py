@@ -1,7 +1,7 @@
 """The ``python -m repro bench`` performance harness.
 
 Measures the hot paths the runtime's throughput rests on and emits one
-machine-readable JSON document (``BENCH_7.json`` by default) so every PR has a
+machine-readable JSON document (``BENCH_8.json`` by default) so every PR has a
 perf trajectory to compare against.  ``repro bench compare BASELINE
 [CURRENT]`` diffs two such documents with per-metric regression budgets
 derived from the recorded per-repetition samples (see
@@ -28,6 +28,15 @@ derived from the recorded per-repetition samples (see
 * **jobs_parallel** -- the same batch through a ``ParallelExecutor`` worker
   pool into its own fresh cache; **fails unless the parallel payloads are
   bit-identical to the serial ones**.
+* **jobs_batched** -- the same batch through an explicitly batched pool
+  (``batch_size=8``), cold and warm, then re-run with ``batch_size=1``
+  through the same warm pool to isolate what per-submission pickling costs.
+  **Fails unless batched payloads are bit-identical to serial** and (full
+  mode) batching at least matches per-job dispatch; the cold
+  batched-vs-serial speedup gate additionally requires a machine that can
+  actually run two workers at once (``parallel_capacity >= 2``) -- on a
+  single-CPU container no submission strategy can beat serial, and the
+  document records the capacity so the skip is auditable.
 
 Every check doubles as a regression gate: the CLI exits non-zero when any
 fails, which is what the CI ``repro bench --quick`` step relies on.
@@ -36,6 +45,7 @@ fails, which is what the CI ``repro bench --quick`` step relies on.
 from __future__ import annotations
 
 import json
+import os
 import platform as platform_module
 import shutil
 import sys
@@ -58,7 +68,7 @@ BENCH_SCHEMA_VERSION = 2
 
 #: The PR series number this harness writes by default; the driver and CI look
 #: for ``BENCH_<n>.json`` so successive PRs leave a comparable trajectory.
-BENCH_SERIES = 7
+BENCH_SERIES = 8
 
 DEFAULT_BENCH_PATH = f"BENCH_{BENCH_SERIES}.json"
 
@@ -341,6 +351,63 @@ def _jobs_cases(
                 len(jobs) / reuse_seconds if reuse_seconds else 0.0
             ),
             "bit_identical": parallel_identical,
+        }
+
+        # Batched dispatch.  The cold pass measures the headline number; the
+        # warm-pool batch-size-8 vs batch-size-1 pair isolates the pickling
+        # amortization itself, which -- unlike the serial comparison -- does
+        # not depend on how many CPUs the machine can actually run at once.
+        batch_size = 8 if len(jobs) >= 16 else max(1, len(jobs) // 2)
+        with ParallelExecutor(max_workers=workers, batch_size=batch_size) as pool:
+            batched_seconds, batched = _run_batch(
+                pool, jobs, ResultCache(scratch / "batched")
+            )
+            batched_reuse_seconds = min(
+                _run_batch(pool, jobs, ResultCache(scratch / f"batched-reuse{i}"))[0]
+                for i in range(2)
+            )
+            # Same warm pool, per-job submission: what batching saves.
+            pool.batch_size = 1
+            unbatched_seconds = min(
+                _run_batch(pool, jobs, ResultCache(scratch / f"unbatched{i}"))[0]
+                for i in range(2)
+            )
+        batched_identical = batched.payloads() == cold.payloads()
+        checks["batched_parallel_bit_identity"] = batched_identical
+        amortization = (
+            unbatched_seconds / batched_reuse_seconds if batched_reuse_seconds else 0.0
+        )
+        speedup_vs_serial = (
+            cold_seconds / batched_seconds if batched_seconds else 0.0
+        )
+        # How many of the requested workers this machine can truly run in
+        # parallel.  Gate the beats-serial check on it: with one CPU, cold
+        # parallel can never beat serial whatever the submission strategy.
+        parallel_capacity = min(workers, os.cpu_count() or 1)
+        if not quick:
+            checks["batched_amortizes_dispatch"] = amortization >= 1.0
+            if parallel_capacity >= 2:
+                checks["batched_beats_serial_1_5x"] = speedup_vs_serial >= 1.5
+        results["jobs_batched"] = {
+            "jobs": len(jobs),
+            "workers": workers,
+            "batch_size": batch_size,
+            "parallel_capacity": parallel_capacity,
+            "cold_seconds": batched_seconds,
+            "cold_jobs_per_second": (
+                len(jobs) / batched_seconds if batched_seconds else 0.0
+            ),
+            "pool_reuse_seconds": batched_reuse_seconds,
+            "pool_reuse_jobs_per_second": (
+                len(jobs) / batched_reuse_seconds if batched_reuse_seconds else 0.0
+            ),
+            "unbatched_seconds": unbatched_seconds,
+            "unbatched_jobs_per_second": (
+                len(jobs) / unbatched_seconds if unbatched_seconds else 0.0
+            ),
+            "dispatch_amortization": amortization,
+            "speedup_vs_serial": speedup_vs_serial,
+            "bit_identical": batched_identical,
         }
     finally:
         shutil.rmtree(scratch, ignore_errors=True)

@@ -1,6 +1,6 @@
 """The ``python -m repro`` command line.
 
-Seven subcommands:
+Subcommands:
 
 * ``list`` -- every runnable target (the registered experiments plus the named
   sweep campaigns) and every registered building block: trace builders,
@@ -23,9 +23,15 @@ Seven subcommands:
 * ``bench`` -- the performance harness: engine ticks/sec (segment-stepping vs.
   the seed reference loop, with a bit-identity gate), runtime jobs/sec (cold
   vs. warm cache, serial vs. parallel), telemetry overhead, written to
-  ``BENCH_7.json``; ``bench compare BASELINE [CURRENT]`` gates a bench
+  ``BENCH_8.json``; ``bench compare BASELINE [CURRENT]`` gates a bench
   document against history with per-metric regression budgets derived from
   the recorded timing noise (:mod:`repro.obs.analysis.benchdiff`);
+* ``serve`` / ``submit`` / ``fleet`` -- the sweep service
+  (:mod:`repro.fleet`): ``submit CAMPAIGN`` enqueues a campaign's jobs into a
+  durable fleet directory, ``serve`` runs the batched, autoscaling worker
+  loop over it, and ``fleet status|verify|migrate`` inspect the directory,
+  check fleet results bit-identical against a serial re-run, and absorb flat
+  cache directories into the sharded store;
 * ``trace`` -- inspect recorded telemetry: ``describe`` summarizes a JSONL
   trace file (event counts, span timings, engine segment statistics,
   operating-point and phase residencies), ``diff A B`` attributes simulated
@@ -922,6 +928,168 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _fleet_campaign(args: argparse.Namespace):
+    """Resolve the ``CAMPAIGN`` argument of submit/verify, with smoke caps."""
+    # Deferred import: the fleet pulls in the campaign catalog and scenario
+    # registry, which the rest of the CLI's import path does not need.
+    from repro.fleet import resolve_campaign
+
+    if args.max_time is not None and args.max_time <= 0:
+        raise _CliError(f"--max-time must be positive, got {args.max_time}")
+    try:
+        return resolve_campaign(
+            args.campaign, quick=args.quick, max_time=args.max_time
+        )
+    except KeyError as error:
+        raise _CliError(str(error.args[0])) from error
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.fleet import AutoscalerConfig, FleetConfig, FleetService
+
+    ui = _console_for(args)
+    if args.workers < 1:
+        raise _CliError(f"--workers must be at least 1, got {args.workers}")
+    if args.batch_size is not None and args.batch_size < 1:
+        raise _CliError(f"--batch-size must be at least 1, got {args.batch_size}")
+    try:
+        autoscaler = AutoscalerConfig(
+            min_workers=args.min_workers,
+            max_workers=args.max_workers,
+            scale_up_depth=args.scale_up_depth,
+            scale_down_depth=args.scale_down_depth,
+            sustained_readings=args.sustained_readings,
+            scale_up_cooldown=args.scale_up_cooldown,
+            scale_down_cooldown=args.scale_down_cooldown,
+        )
+    except ValueError as error:
+        raise _CliError(f"invalid autoscaler configuration: {error}") from error
+    session = _obs_setup(args, ui)
+    config = FleetConfig(
+        root=args.fleet_dir,
+        workers=args.workers,
+        batch_size=args.batch_size,
+        poll_interval=args.poll_interval,
+        lease_timeout=args.lease_timeout,
+        lease_limit=args.lease_limit,
+        max_attempts=args.max_attempts,
+        autoscale=not args.no_autoscale,
+        autoscaler=autoscaler,
+        drain=args.drain,
+        drain_grace=args.drain_grace,
+        idle_timeout=args.idle_timeout,
+    )
+    service = FleetService(config)
+    ui.info(
+        f"serving fleet at {config.root} "
+        f"({config.workers} worker(s), autoscale "
+        f"{'on' if config.autoscale else 'off'}"
+        f"{', drain mode' if config.drain else ''})"
+    )
+    try:
+        with obs.span("cli.serve", root=str(config.root)):
+            summary = service.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        ui.info("interrupted; shutting the pool down")
+        service.executor.close()
+        summary = {"rounds": service.rounds, "jobs_run": service.jobs_run}
+    if args.json:
+        ui.out(json.dumps(summary, indent=2))
+    else:
+        ui.out(
+            f"serve: {summary.get('jobs_run', 0)} job(s) in "
+            f"{summary.get('rounds', 0)} round(s), "
+            f"{summary.get('reports_finalized', 0)} report(s) finalized, "
+            f"{summary.get('scaling_events', 0)} scaling event(s)"
+        )
+    _obs_teardown(args, session, ui)
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.fleet import submit_campaign
+
+    ui = _console_for(args)
+    campaign = _fleet_campaign(args)
+    summary = submit_campaign(
+        args.fleet_dir, campaign, priority=args.priority
+    )
+    if args.json:
+        ui.out(json.dumps(summary, indent=2))
+    else:
+        if summary["warm_start"]:
+            ui.out(
+                f"submit: {summary['campaign']} already reported "
+                f"(spec {summary['spec_hash'][:12]}); nothing enqueued"
+            )
+        else:
+            ui.out(
+                f"submit: {summary['campaign']} -> {summary['enqueued']} "
+                f"enqueued, {summary['deduped_store']} served from store, "
+                f"{summary['deduped_queue']} already queued "
+                f"(spec {summary['spec_hash'][:12]})"
+            )
+    return 0
+
+
+def _cmd_fleet_status(args: argparse.Namespace) -> int:
+    from repro.fleet import fleet_status
+
+    ui = _console_for(args)
+    status = fleet_status(args.fleet_dir)
+    if args.json:
+        ui.out(json.dumps(status, indent=2))
+        return 0
+    queue = status["queue"]
+    ui.out(f"fleet: {status['root']}")
+    ui.out(
+        f"  queue: {queue['queued']} queued, {queue['leased']} leased, "
+        f"{queue['done']} done, {queue['failed']} failed"
+    )
+    store = status["store"]
+    ui.out(
+        f"  store: {store['jobs']} job(s), {store['reports']} report(s), "
+        f"{store['bytes'] / 1024:.1f} KiB"
+    )
+    for entry in status["campaigns"]:
+        state = "reported" if entry["reported"] else (
+            f"{entry['landed']}/{entry['jobs']} landed"
+        )
+        ui.out(f"  campaign {entry['campaign']}: {state}")
+    ui.out(f"  drained: {'yes' if status['drained'] else 'no'}")
+    return 0
+
+
+def _cmd_fleet_verify(args: argparse.Namespace) -> int:
+    from repro.fleet import verify_campaign
+
+    ui = _console_for(args)
+    campaign = _fleet_campaign(args)
+    verdict = verify_campaign(args.fleet_dir, campaign)
+    if args.json:
+        ui.out(json.dumps(verdict, indent=2))
+    else:
+        ui.out(
+            f"verify {verdict['campaign']}: "
+            f"{'bit-identical to serial' if verdict['ok'] else 'MISMATCH'} "
+            f"({verdict['jobs']} job(s), {len(verdict['missing'])} missing, "
+            f"{len(verdict['mismatched'])} mismatched, report "
+            f"{'ok' if verdict['report_ok'] else 'missing/stale'})"
+        )
+    return 0 if verdict["ok"] else 1
+
+
+def _cmd_fleet_migrate(args: argparse.Namespace) -> int:
+    from repro.fleet import ShardedResultStore
+    from repro.fleet.service import FleetPaths
+
+    ui = _console_for(args)
+    store = ShardedResultStore(FleetPaths(args.fleet_dir).store_dir)
+    moved = store.migrate_flat(source=args.source)
+    ui.out(f"migrate: {moved} entr(ies) moved into {store.jobs_root}")
+    return 0
+
+
 def _add_hardware_flags(parser: argparse.ArgumentParser) -> None:
     """The hardware-description flags shared by ``run`` and ``scenarios sweep``."""
     parser.add_argument(
@@ -1140,7 +1308,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     bench_parser = subparsers.add_parser(
         "bench",
-        help="run the performance harness and write BENCH_7.json",
+        help="run the performance harness and write BENCH_8.json",
         description=(
             "Measure engine ticks/sec (segment-stepping vs. the seed "
             "reference loop) and runtime jobs/sec (cold vs. warm cache, "
@@ -1162,7 +1330,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default=None, metavar="PATH",
         help=(
             "write the bench document to PATH "
-            "(default BENCH_7.json in the working directory; "
+            "(default BENCH_8.json in the working directory; "
             "'-' skips the file)"
         ),
     )
@@ -1307,6 +1475,174 @@ def build_parser() -> argparse.ArgumentParser:
         "--clear", action="store_true", help="delete every cache entry"
     )
     cache_parser.set_defaults(handler=_cmd_cache)
+
+    def add_fleet_dir(target: argparse.ArgumentParser) -> None:
+        target.add_argument(
+            "--fleet-dir",
+            default=os.environ.get("REPRO_FLEET_DIR", ".repro-fleet"),
+            metavar="DIR",
+            help=(
+                "fleet directory holding the queue, store, and campaign "
+                "manifests (default .repro-fleet, or $REPRO_FLEET_DIR)"
+            ),
+        )
+
+    def add_campaign_args(target: argparse.ArgumentParser) -> None:
+        target.add_argument(
+            "campaign", metavar="CAMPAIGN",
+            help=f"campaign name ({', '.join(sorted(CAMPAIGNS))})",
+        )
+        target.add_argument(
+            "--quick", action="store_true",
+            help="reduced workload set for fast runs",
+        )
+        target.add_argument(
+            "--max-time", type=float, default=None, metavar="S",
+            help="cap simulated seconds per job (smoke-test scaling)",
+        )
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="run the sweep service over a fleet directory",
+        description=(
+            "Poll the fleet queue, execute leased jobs through a batched "
+            "process pool into the sharded store, finalize sweep reports, "
+            "and autoscale the pool from observed queue depth."
+        ),
+    )
+    add_fleet_dir(serve_parser)
+    serve_parser.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="initial worker processes (default 2)",
+    )
+    serve_parser.add_argument(
+        "--batch-size", type=int, default=None, metavar="N",
+        help=(
+            "jobs packed per pool submission (default: auto-sized from the "
+            "batch and worker count)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--poll-interval", type=float, default=0.2, metavar="S",
+        help="seconds between queue polls when idle (default 0.2)",
+    )
+    serve_parser.add_argument(
+        "--lease-timeout", type=float, default=60.0, metavar="S",
+        help="seconds before an unfinished lease is reclaimed (default 60)",
+    )
+    serve_parser.add_argument(
+        "--lease-limit", type=int, default=64, metavar="N",
+        help="jobs leased per poll (default 64)",
+    )
+    serve_parser.add_argument(
+        "--max-attempts", type=int, default=3, metavar="N",
+        help="attempts before a job is marked failed (default 3)",
+    )
+    serve_parser.add_argument(
+        "--no-autoscale", action="store_true",
+        help="pin the pool at --workers instead of autoscaling",
+    )
+    serve_parser.add_argument(
+        "--min-workers", type=int, default=1, metavar="N",
+        help="autoscaler lower bound (default 1)",
+    )
+    serve_parser.add_argument(
+        "--max-workers", type=int, default=4, metavar="N",
+        help="autoscaler upper bound (default 4)",
+    )
+    serve_parser.add_argument(
+        "--scale-up-depth", type=float, default=8.0, metavar="D",
+        help="queue depth that counts toward scaling up (default 8)",
+    )
+    serve_parser.add_argument(
+        "--scale-down-depth", type=float, default=1.0, metavar="D",
+        help="queue depth that counts toward scaling down (default 1)",
+    )
+    serve_parser.add_argument(
+        "--sustained-readings", type=int, default=2, metavar="N",
+        help="consecutive qualifying samples before a move (default 2)",
+    )
+    serve_parser.add_argument(
+        "--scale-up-cooldown", type=float, default=2.0, metavar="S",
+        help="seconds to hold after a scaling event before growing (default 2)",
+    )
+    serve_parser.add_argument(
+        "--scale-down-cooldown", type=float, default=10.0, metavar="S",
+        help="seconds to hold after a scaling event before shrinking (default 10)",
+    )
+    serve_parser.add_argument(
+        "--drain", action="store_true",
+        help="exit once the queue is empty and all sweep reports are stored",
+    )
+    serve_parser.add_argument(
+        "--drain-grace", type=float, default=10.0, metavar="S",
+        help="with --drain: seconds to wait for work to first appear (default 10)",
+    )
+    serve_parser.add_argument(
+        "--idle-timeout", type=float, default=None, metavar="S",
+        help="without --drain: exit after S idle seconds (default: run forever)",
+    )
+    serve_parser.add_argument(
+        "--json", action="store_true", help="emit the exit summary as JSON"
+    )
+    _add_obs_flags(serve_parser)
+    serve_parser.set_defaults(handler=_cmd_serve)
+
+    submit_parser = subparsers.add_parser(
+        "submit",
+        help="submit a campaign's jobs to the fleet queue",
+        description=(
+            "Resolve a named campaign, write its sweep manifest, and enqueue "
+            "its jobs -- deduplicated against the queue and the result store. "
+            "An already-reported sweep is a warm start: nothing is enqueued."
+        ),
+    )
+    add_fleet_dir(submit_parser)
+    add_campaign_args(submit_parser)
+    submit_parser.add_argument(
+        "--priority", type=int, default=0, metavar="P",
+        help="queue priority (higher dispatches sooner; default 0)",
+    )
+    submit_parser.add_argument(
+        "--json", action="store_true", help="emit the submission summary as JSON"
+    )
+    submit_parser.set_defaults(handler=_cmd_submit)
+
+    fleet_parser = subparsers.add_parser(
+        "fleet", help="inspect or verify a fleet directory"
+    )
+    fleet_sub = fleet_parser.add_subparsers(dest="fleet_command", required=True)
+    fleet_status_parser = fleet_sub.add_parser(
+        "status", help="queue counts, store stats, and campaign completion"
+    )
+    add_fleet_dir(fleet_status_parser)
+    fleet_status_parser.add_argument(
+        "--json", action="store_true", help="emit the status as JSON"
+    )
+    fleet_status_parser.set_defaults(handler=_cmd_fleet_status)
+    fleet_verify_parser = fleet_sub.add_parser(
+        "verify",
+        help="check fleet results for a campaign against a serial re-run",
+    )
+    add_fleet_dir(fleet_verify_parser)
+    add_campaign_args(fleet_verify_parser)
+    fleet_verify_parser.add_argument(
+        "--json", action="store_true", help="emit the verdict as JSON"
+    )
+    fleet_verify_parser.set_defaults(handler=_cmd_fleet_verify)
+    fleet_migrate_parser = fleet_sub.add_parser(
+        "migrate",
+        help="absorb a flat cache directory into the store's sharded layout",
+    )
+    add_fleet_dir(fleet_migrate_parser)
+    fleet_migrate_parser.add_argument(
+        "--source", default=None, metavar="DIR",
+        help=(
+            "cache directory to pull entries from (default: shard the "
+            "store's own job namespace in place)"
+        ),
+    )
+    fleet_migrate_parser.set_defaults(handler=_cmd_fleet_migrate)
 
     return parser
 

@@ -1,0 +1,19 @@
+# reprolint: module=repro.hw.fake_fixture
+"""Bad: an unversioned hash payload, and an ad-hoc digest beside it."""
+
+import hashlib
+import json
+
+from repro.hashing import content_hash
+
+
+def widget_key(name: str, frequency: float) -> str:
+    # No 'schema' stamp: when the payload format changes, old and new cache
+    # entries collide instead of missing.
+    return content_hash({"name": name, "frequency": frequency})
+
+
+def widget_digest(payload: dict) -> str:
+    # Bypasses canonical_json: key order and float formatting now decide
+    # whether equal payloads hash equal.
+    return hashlib.sha256(json.dumps(payload).encode()).hexdigest()

@@ -1,0 +1,16 @@
+# reprolint: module=repro.hw.fake_fixture
+"""Good: versioned payloads, hashed only through repro.hashing."""
+
+from repro.hashing import content_hash
+
+WIDGET_SCHEMA_VERSION = 1
+
+
+def widget_key(name: str, frequency: float) -> str:
+    return content_hash(
+        {
+            "schema": WIDGET_SCHEMA_VERSION,
+            "name": name,
+            "frequency": frequency,
+        }
+    )

@@ -1,0 +1,9 @@
+# reprolint: module=repro.runtime.fake_fixture
+"""Bad: fork-unsafe state created at import time in a worker-visible module."""
+
+import threading
+
+LOG_HANDLE = open("/tmp/fixture.log", "a")  # noqa: SIM115
+
+WATCHER = threading.Thread(target=lambda: None, daemon=True)
+WATCHER.start()

@@ -1,0 +1,26 @@
+# reprolint: module=repro.runtime.fake_fixture
+"""Good: import time binds only plain data; handles and threads are lazy."""
+
+import threading
+from typing import Any, Optional
+
+LOG_PATH = "/tmp/fixture.log"  # plain data: fork-safe to inherit
+
+_WATCHER_LOCK = threading.Lock()  # sync primitives are safe to *create*
+_WATCHER: Optional[threading.Thread] = None
+
+
+def append_log(line: str) -> None:
+    """Open per call, after any fork, so workers never share a descriptor."""
+    with open(LOG_PATH, "a", encoding="utf-8") as handle:
+        handle.write(line + "\n")
+
+
+def ensure_watcher(target: Any) -> threading.Thread:
+    """Start the background thread lazily, in whichever process needs it."""
+    global _WATCHER
+    with _WATCHER_LOCK:
+        if _WATCHER is None or not _WATCHER.is_alive():
+            _WATCHER = threading.Thread(target=target, daemon=True)
+            _WATCHER.start()
+    return _WATCHER

@@ -1,0 +1,501 @@
+"""The repro.fleet subsystem: queue, batching, store, autoscaler, service."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.fleet import (
+    Autoscaler,
+    AutoscalerConfig,
+    BatchingExecutor,
+    FleetConfig,
+    FleetService,
+    JobQueue,
+    ShardedResultStore,
+    fleet_status,
+    plan_batches,
+    submit_campaign,
+    sweep_spec_hash,
+    verify_campaign,
+)
+from repro.fleet.autoscaler import sample_from_snapshot
+from repro.fleet.queue import (
+    STATE_DONE,
+    STATE_FAILED,
+    STATE_LEASED,
+    STATE_QUEUED,
+)
+from repro.fleet.service import FleetPaths, resolve_campaign
+from repro.hashing import content_hash
+from repro.runtime import (
+    Campaign,
+    PlatformSpec,
+    PolicySpec,
+    SerialExecutor,
+    SimSpec,
+    SimulationJob,
+    TraceSpec,
+)
+from repro.runtime.jobs import SCHEMA_VERSION
+
+FIXTURES = Path(__file__).parent / "fixtures" / "fleet"
+
+#: A fast simulation spec: 50 ticks, one or two evaluation intervals.
+TINY_SIM = SimSpec(max_simulated_time=0.05)
+
+
+def _tiny_job(name="470.lbm", policy="baseline", tdp=4.5):
+    return SimulationJob(
+        trace=TraceSpec.make("spec", name=name, duration=0.05),
+        policy=PolicySpec.make(policy),
+        platform=PlatformSpec(tdp=tdp),
+        sim=TINY_SIM,
+    )
+
+
+def _tiny_campaign(name="fleet-tiny"):
+    return Campaign(
+        name=name,
+        jobs=(
+            _tiny_job(policy="baseline"),
+            _tiny_job(policy="sysscale"),
+            _tiny_job(name="433.milc", policy="sysscale"),
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# JobQueue: lease / timeout / requeue
+# ---------------------------------------------------------------------------
+
+
+class TestJobQueue:
+    def test_dispatch_order_is_priority_then_fifo(self, tmp_path):
+        queue = JobQueue(tmp_path / "q")
+        low = queue.submit(_tiny_job(policy="baseline"), priority=0)
+        high = queue.submit(_tiny_job(policy="sysscale"), priority=5)
+        ordered = queue.entries()
+        assert [e.job_hash for e in ordered] == [high.job_hash, low.job_hash]
+        assert low.seq < high.seq  # FIFO seq still records submission order
+
+    def test_lease_claims_and_stamps_deadline(self, tmp_path):
+        queue = JobQueue(tmp_path / "q", lease_timeout=30.0)
+        entry = queue.submit(_tiny_job())
+        leased = queue.lease(limit=4, worker="w1", now=100.0)
+        assert [e.job_hash for e in leased] == [entry.job_hash]
+        assert leased[0].state == STATE_LEASED
+        assert leased[0].attempts == 1
+        assert leased[0].lease_deadline == pytest.approx(130.0)
+        assert leased[0].worker == "w1"
+        # Nothing queued is left, so a second lease finds nothing.
+        assert queue.lease(limit=4, worker="w2", now=101.0) == []
+
+    def test_expired_lease_requeues_with_attempt_spent(self, tmp_path):
+        queue = JobQueue(tmp_path / "q", lease_timeout=30.0, max_attempts=2)
+        entry = queue.submit(_tiny_job())
+        queue.lease(limit=1, worker="w1", now=100.0)
+        # Before the deadline nothing is recovered.
+        assert queue.requeue_expired(now=120.0) == 0
+        assert queue.get(entry.job_hash).state == STATE_LEASED
+        # Past the deadline the entry goes back to queued, attempt spent.
+        assert queue.requeue_expired(now=131.0) == 1
+        requeued = queue.get(entry.job_hash)
+        assert requeued.state == STATE_QUEUED
+        assert requeued.attempts == 1
+        assert "lease expired" in requeued.error
+
+    def test_exhausted_attempts_fail_terminally(self, tmp_path):
+        queue = JobQueue(tmp_path / "q", lease_timeout=30.0, max_attempts=2)
+        entry = queue.submit(_tiny_job())
+        queue.lease(limit=1, worker="w1", now=100.0)
+        queue.requeue_expired(now=131.0)
+        queue.lease(limit=1, worker="w1", now=200.0)
+        queue.requeue_expired(now=231.0)  # second attempt spent -> exhausted
+        dead = queue.get(entry.job_hash)
+        assert dead.state == STATE_FAILED
+        assert dead.attempts == 2
+        counts = queue.counts()
+        assert counts[STATE_FAILED] == 1
+        assert queue.drained()  # failed entries neither wait nor run
+
+    def test_complete_is_idempotent(self, tmp_path):
+        queue = JobQueue(tmp_path / "q")
+        entry = queue.submit(_tiny_job())
+        queue.lease(limit=1, now=100.0)
+        first = queue.complete(entry.job_hash)
+        again = queue.complete(entry.job_hash)
+        assert first.state == again.state == STATE_DONE
+        assert again.lease_deadline is None
+
+    def test_fail_requeues_until_attempts_run_out(self, tmp_path):
+        queue = JobQueue(tmp_path / "q", max_attempts=2)
+        entry = queue.submit(_tiny_job())
+        queue.lease(limit=1, now=100.0)
+        assert queue.fail(entry.job_hash, error="boom").state == STATE_QUEUED
+        queue.lease(limit=1, now=200.0)
+        assert queue.fail(entry.job_hash, error="boom").state == STATE_FAILED
+
+    def test_entries_survive_reopen(self, tmp_path):
+        root = tmp_path / "q"
+        JobQueue(root).submit(_tiny_job(), priority=3)
+        reopened = JobQueue(root)
+        [entry] = reopened.entries()
+        assert entry.priority == 3
+        assert entry.state == STATE_QUEUED
+        assert entry.build_job() == _tiny_job()
+
+
+# ---------------------------------------------------------------------------
+# Dedup against a pre-populated store
+# ---------------------------------------------------------------------------
+
+
+class TestSubmitDedup:
+    def test_store_hit_lands_straight_in_done(self, tmp_path):
+        store = ShardedResultStore(tmp_path / "store")
+        job = _tiny_job()
+        store.put_job(job, {"answer": 42})
+        queue = JobQueue(tmp_path / "q")
+        entry = queue.submit(job, store=store)
+        assert entry.state == STATE_DONE
+        assert entry.note == "store-hit"
+        assert queue.drained()
+
+    def test_submit_many_accounts_each_dedup_kind(self, tmp_path):
+        store = ShardedResultStore(tmp_path / "store")
+        answered = _tiny_job(policy="sysscale")
+        store.put_job(answered, {"answer": 42})
+        queue = JobQueue(tmp_path / "q")
+        fresh = _tiny_job()
+        queue.submit(fresh)  # already live in the queue
+        accounting = queue.submit_many(
+            [fresh, answered, _tiny_job(name="433.milc")], store=store
+        )
+        assert accounting == {
+            "enqueued": 1,
+            "deduped_store": 1,
+            "deduped_queue": 1,
+        }
+
+    def test_resubmit_returns_existing_entry_unchanged(self, tmp_path):
+        queue = JobQueue(tmp_path / "q")
+        first = queue.submit(_tiny_job())
+        again = queue.submit(_tiny_job())
+        assert again.seq == first.seq
+        assert again.state == STATE_QUEUED
+
+    def test_failed_entry_is_resubmittable(self, tmp_path):
+        queue = JobQueue(tmp_path / "q", max_attempts=1)
+        entry = queue.submit(_tiny_job())
+        queue.lease(limit=1, now=100.0)
+        queue.fail(entry.job_hash, error="boom")
+        fresh = queue.submit(_tiny_job())
+        assert fresh.state == STATE_QUEUED
+        assert fresh.attempts == 0
+
+
+# ---------------------------------------------------------------------------
+# Batching plans
+# ---------------------------------------------------------------------------
+
+
+class TestBatchPlan:
+    def test_explicit_batch_size_slices_evenly(self):
+        jobs = [_tiny_job(tdp=3.0 + i / 10) for i in range(16)]
+        plan = plan_batches(jobs, batch_size=8, workers=2)
+        assert plan.batches == (8, 8)
+        assert plan.dispatches == 2
+        assert plan.jobs == 16
+        assert plan.amortization == 8.0
+
+    def test_ragged_tail_batch(self):
+        jobs = [_tiny_job(tdp=3.0 + i / 10) for i in range(10)]
+        plan = plan_batches(jobs, batch_size=4)
+        assert plan.batches == (4, 4, 2)
+
+    def test_auto_sizing_matches_executor(self):
+        from repro.runtime.executor import auto_batch_size
+
+        jobs = [_tiny_job(tdp=3.0 + i / 10) for i in range(24)]
+        plan = plan_batches(jobs, workers=2)
+        assert plan.batch_size == auto_batch_size(24, 2)
+        assert plan.jobs == 24
+
+    def test_rejects_nonpositive_batch_size(self):
+        with pytest.raises(ValueError):
+            plan_batches([_tiny_job()], batch_size=0)
+
+
+# ---------------------------------------------------------------------------
+# Autoscaler: decision table replayed from a recorded time series
+# ---------------------------------------------------------------------------
+
+
+class TestAutoscaler:
+    #: (action, workers-after) per sample of timeseries_ramp.jsonl, with the
+    #: reason fragment asserted for the interesting transitions.
+    RAMP_EXPECTED = [
+        ("hold", 2, "streak 1/2"),
+        ("hold", 2, "streak 0/2"),
+        ("hold", 2, "streak 1/2"),
+        ("scale_up", 4, "for 2 consecutive samples"),
+        ("hold", 4, "streak 1/2"),
+        ("hold", 4, "cooling down (1.0s < 2.0s)"),
+        ("hold", 4, "cooling down (1.5s < 2.0s)"),
+        ("hold", 4, "already at max_workers=4"),
+        ("hold", 4, "streak 1/2"),
+        ("hold", 4, "cooling down (3.0s < 10.0s)"),
+        ("scale_down", 3, "for 3 consecutive samples"),
+        ("hold", 3, "streak 1/2"),
+        ("hold", 3, "cooling down (1.0s < 10.0s)"),
+        ("scale_down", 2, "for 3 consecutive samples"),
+        ("hold", 2, "streak 1/2"),
+        ("scale_down", 1, "for 2 consecutive samples"),
+        ("hold", 1, "streak 1/2"),
+        ("hold", 1, "already at min_workers=1"),
+    ]
+
+    def _ramp_samples(self):
+        with (FIXTURES / "timeseries_ramp.jsonl").open() as handle:
+            return [json.loads(line) for line in handle if line.strip()]
+
+    def test_ramp_fixture_decision_table(self):
+        scaler = Autoscaler()  # workers=0: adopt the first sample's gauge
+        samples = self._ramp_samples()
+        assert len(samples) == len(self.RAMP_EXPECTED)
+        for sample, (action, workers, reason) in zip(
+            samples, self.RAMP_EXPECTED
+        ):
+            decision = scaler.observe(sample)
+            context = f"sample seq={sample['seq']} t={sample['t']}"
+            assert decision.action == action, context
+            assert decision.workers == workers, context
+            assert reason in decision.reason, context
+            assert decision.at == sample["t"]
+        assert scaler.workers == 1
+        assert len(scaler.decisions) == len(samples)
+
+    def test_replay_is_deterministic(self):
+        runs = []
+        for _ in range(2):
+            scaler = Autoscaler()
+            for sample in self._ramp_samples():
+                scaler.observe(sample)
+            runs.append(
+                [(d.action, d.workers, d.reason, d.at) for d in scaler.decisions]
+            )
+        assert runs[0] == runs[1]
+
+    def test_spike_does_not_scale(self):
+        scaler = Autoscaler(workers=2)
+        scaler.observe({"t": 0.0, "queue_depth": 50})
+        decision = scaler.observe({"t": 0.5, "queue_depth": 0})
+        assert decision.action == "hold"
+        assert scaler.workers == 2
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            AutoscalerConfig(min_workers=0)
+        with pytest.raises(ValueError):
+            AutoscalerConfig(min_workers=4, max_workers=2)
+        with pytest.raises(ValueError):
+            AutoscalerConfig(scale_down_depth=9.0, scale_up_depth=8.0)
+        with pytest.raises(ValueError):
+            AutoscalerConfig(sustained_readings=0)
+
+    def test_sample_from_snapshot_maps_executor_gauges(self):
+        snapshot = {
+            "gauges": {
+                "executor.queue_depth": 7.0,
+                "executor.in_flight": 2.0,
+                "executor.workers": 3.0,
+            }
+        }
+        sample = sample_from_snapshot(snapshot, t=12.5)
+        assert sample == {
+            "t": 12.5,
+            "queue_depth": 7.0,
+            "in_flight": 2.0,
+            "workers": 3.0,
+        }
+
+
+# ---------------------------------------------------------------------------
+# Sharded store: migration from a flat cache directory
+# ---------------------------------------------------------------------------
+
+
+class TestStoreMigration:
+    def _flat_entry(self, directory, job, payload):
+        entry = {
+            "schema": SCHEMA_VERSION,
+            "hash": job.content_hash,
+            "job": job.to_dict(),
+            "result": payload,
+        }
+        directory.mkdir(parents=True, exist_ok=True)
+        (directory / f"{job.content_hash}.json").write_text(json.dumps(entry))
+
+    def test_flat_directory_migrates_into_shards(self, tmp_path):
+        flat = tmp_path / "old-cache"
+        jobs = [_tiny_job(), _tiny_job(policy="sysscale")]
+        for index, job in enumerate(jobs):
+            self._flat_entry(flat, job, {"answer": index})
+        store = ShardedResultStore(tmp_path / "store")
+        assert store.migrate_flat(source=flat) == 2
+        for index, job in enumerate(jobs):
+            assert store.has_job(job.content_hash)
+            assert store.job_payload(job.content_hash) == {"answer": index}
+            # The entry sits in its two-character prefix shard...
+            path = store.job_path(job.content_hash)
+            assert path.parent.name == job.content_hash[:2]
+            # ...and reads back through the plain runtime cache unchanged.
+            assert store.job_cache().get(job) == {"answer": index}
+        assert not list(flat.glob("*.json"))  # moved, not copied
+
+    def test_in_place_adoption_of_flat_job_namespace(self, tmp_path):
+        store = ShardedResultStore(tmp_path / "store")
+        job = _tiny_job()
+        self._flat_entry(store.jobs_root, job, {"answer": 7})
+        assert not store.has_job(job.content_hash)  # flat entry is invisible
+        assert store.migrate_flat() == 1
+        assert store.job_payload(job.content_hash) == {"answer": 7}
+
+    def test_migrate_is_idempotent(self, tmp_path):
+        store = ShardedResultStore(tmp_path / "store")
+        job = _tiny_job()
+        self._flat_entry(store.jobs_root, job, {"answer": 7})
+        assert store.migrate_flat() == 1
+        assert store.migrate_flat() == 0
+        assert store.stats()["jobs"] == 1
+
+
+# ---------------------------------------------------------------------------
+# Sweep identity and reports
+# ---------------------------------------------------------------------------
+
+
+class TestSweepIdentity:
+    def test_spec_hash_is_stable_and_sensitive(self):
+        campaign = _tiny_campaign()
+        assert sweep_spec_hash(campaign) == sweep_spec_hash(_tiny_campaign())
+        capped = campaign.with_sim(SimSpec(max_simulated_time=0.04))
+        assert sweep_spec_hash(capped) != sweep_spec_hash(campaign)
+        renamed = Campaign(name="other", jobs=campaign.jobs)
+        assert sweep_spec_hash(renamed) != sweep_spec_hash(campaign)
+
+    def test_resolve_campaign_rejects_unknown_names(self):
+        with pytest.raises(KeyError, match="unknown campaign"):
+            resolve_campaign("no-such-campaign")
+
+    def test_resolve_campaign_caps_simulated_time(self):
+        campaign = resolve_campaign("scenarios", quick=True, max_time=0.05)
+        assert campaign.jobs
+        assert all(
+            job.sim.max_simulated_time == 0.05
+            for job in campaign.jobs
+            if isinstance(job, SimulationJob)
+        )
+
+
+# ---------------------------------------------------------------------------
+# End to end: fleet-run sweep is bit-identical to a serial sweep
+# ---------------------------------------------------------------------------
+
+
+class TestFleetBitIdentity:
+    def _drain_config(self, root, **overrides):
+        settings = {
+            "root": root,
+            "workers": 2,
+            "batch_size": 2,
+            "poll_interval": 0.01,
+            "drain": True,
+            "drain_grace": 5.0,
+        }
+        settings.update(overrides)
+        return FleetConfig(**settings)
+
+    def test_cold_fleet_sweep_matches_serial(self, tmp_path):
+        root = tmp_path / "fleet"
+        campaign = _tiny_campaign()
+        summary = submit_campaign(root, campaign)
+        assert summary["warm_start"] is False
+        assert summary["enqueued"] == len(campaign.jobs)
+
+        service = FleetService(self._drain_config(root))
+        outcome = service.serve_forever()
+        assert outcome["drained"] is True
+        assert outcome["jobs_run"] == len(campaign.jobs)
+        assert outcome["reports_finalized"] == 1
+
+        verdict = verify_campaign(root, campaign)
+        assert verdict["missing"] == []
+        assert verdict["mismatched"] == []
+        assert verdict["report_ok"] is True
+        assert verdict["ok"] is True
+
+        status = fleet_status(root)
+        assert status["drained"] is True
+        assert status["queue"]["done"] == len(campaign.jobs)
+        [manifest] = status["campaigns"]
+        assert manifest["reported"] is True
+        assert manifest["landed"] == len(campaign.jobs)
+
+    def test_warm_resubmission_runs_nothing(self, tmp_path):
+        root = tmp_path / "fleet"
+        campaign = _tiny_campaign()
+        submit_campaign(root, campaign)
+        FleetService(self._drain_config(root)).serve_forever()
+
+        # Report-level warm start: nothing is enqueued at all.
+        summary = submit_campaign(root, campaign)
+        assert summary["warm_start"] is True
+        assert summary["enqueued"] == 0
+        assert verify_campaign(root, campaign)["ok"] is True
+
+        # Job-level warm start: drop the report but keep the results; the
+        # resubmission dedups every job against the store and the service
+        # rebuilds the report without executing anything.
+        store = ShardedResultStore(FleetPaths(root).store_dir)
+        store.report_path(summary["spec_hash"]).unlink()
+        summary = submit_campaign(root, campaign)
+        assert summary["warm_start"] is False
+        assert summary["enqueued"] == 0
+        assert summary["deduped_store"] + summary["deduped_queue"] == len(
+            campaign.jobs
+        )
+        service = FleetService(self._drain_config(root))
+        outcome = service.serve_forever()
+        assert outcome["jobs_run"] == 0
+        assert outcome["reports_finalized"] == 1
+        assert verify_campaign(root, campaign)["ok"] is True
+
+    def test_batching_executor_matches_serial(self, tmp_path):
+        jobs = list(_tiny_campaign().jobs)
+        serial = SerialExecutor().run(jobs)
+        with BatchingExecutor(max_workers=2, batch_size=2) as pool:
+            batched = pool.run(jobs)
+        for ours, theirs in zip(batched.outcomes, serial.outcomes):
+            assert ours.job.content_hash == theirs.job.content_hash
+            assert content_hash(ours.payload) == content_hash(theirs.payload)
+
+    def test_executor_failure_fails_the_leased_entries(self, tmp_path):
+        root = tmp_path / "fleet"
+        campaign = _tiny_campaign()
+        submit_campaign(root, campaign)
+        service = FleetService(self._drain_config(root, workers=1))
+
+        def explode(jobs, cache=None):
+            raise RuntimeError("worker lost")
+
+        service.executor.run = explode
+        with pytest.raises(RuntimeError, match="worker lost"):
+            service.run_once(now=100.0)
+        counts = service.queue.counts()
+        # Attempts remain, so the failure requeues rather than killing jobs.
+        assert counts[STATE_QUEUED] == len(campaign.jobs)
+        entry = service.queue.entries()[0]
+        assert "worker lost" in entry.error
+        service.executor.close()
