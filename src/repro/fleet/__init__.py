@@ -4,9 +4,13 @@ A long-lived service over the existing runtime: a durable content-addressed
 job queue (:mod:`repro.fleet.queue`), batched pool dispatch with fleet
 telemetry (:mod:`repro.fleet.batching`), a sharded result store with
 ``spec_hash``-level sweep-report warm starts (:mod:`repro.fleet.store`), a
-metrics-driven autoscaler (:mod:`repro.fleet.autoscaler`), and the service
-loop plus submit/status/verify entry points (:mod:`repro.fleet.service`)
-behind ``repro serve`` / ``repro submit`` / ``repro fleet ...``.
+metrics-driven autoscaler (:mod:`repro.fleet.autoscaler`), explicit failure
+semantics -- deterministic retry backoff, a quarantine for poison jobs and
+corrupt entries, and the ``fleet doctor`` consistency audit
+(:mod:`repro.fleet.resilience`) -- with a seeded chaos harness to prove them
+(:mod:`repro.fleet.faults`), and the service loop plus submit/status/verify
+entry points (:mod:`repro.fleet.service`) behind ``repro serve`` /
+``repro submit`` / ``repro fleet ...``.
 
 Layering: fleet sits above runtime and scenarios and below the CLI; nothing
 in the model or runtime layers knows the fleet exists.  The fleet never adds
@@ -16,7 +20,15 @@ as a serial run, which is why fleet results are bit-identical to serial ones.
 
 from repro.fleet.autoscaler import Autoscaler, AutoscalerConfig, ScalingDecision
 from repro.fleet.batching import BatchingExecutor, BatchPlan, plan_batches
+from repro.fleet.faults import FaultPlan, FaultRule, InjectedFault
 from repro.fleet.queue import JobQueue, QueueEntry
+from repro.fleet.resilience import (
+    DoctorReport,
+    FailureRecord,
+    Quarantine,
+    backoff_seconds,
+    run_doctor,
+)
 from repro.fleet.service import (
     FleetConfig,
     FleetService,
@@ -33,15 +45,23 @@ __all__ = [
     "AutoscalerConfig",
     "BatchPlan",
     "BatchingExecutor",
+    "DoctorReport",
+    "FailureRecord",
+    "FaultPlan",
+    "FaultRule",
     "FleetConfig",
     "FleetService",
+    "InjectedFault",
     "JobQueue",
+    "Quarantine",
     "QueueEntry",
     "ScalingDecision",
     "ShardedResultStore",
+    "backoff_seconds",
     "fleet_status",
     "plan_batches",
     "resolve_campaign",
+    "run_doctor",
     "submit_campaign",
     "sweep_spec_hash",
     "verify_campaign",

@@ -25,7 +25,12 @@ from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.obs import state as obs_state
-from repro.runtime.executor import ParallelExecutor, auto_batch_size
+from repro.runtime.executor import (
+    FailureCallback,
+    ParallelExecutor,
+    PreExecuteHook,
+    auto_batch_size,
+)
 from repro.runtime.jobs import Job
 
 __all__ = ["BatchPlan", "BatchingExecutor", "plan_batches"]
@@ -90,6 +95,8 @@ class BatchingExecutor(ParallelExecutor):
         self,
         jobs: List[Job],
         on_executed: Callable[..., None],
+        on_error: Optional[FailureCallback] = None,
+        pre_hook: Optional[PreExecuteHook] = None,
     ) -> None:
         # max_workers == 1 takes the inherited in-process path: no pool
         # submissions happen, so recording "dispatches" would be a lie.
@@ -100,4 +107,4 @@ class BatchingExecutor(ParallelExecutor):
             obs_state.counter("fleet.dispatches").inc(plan.dispatches)
             obs_state.counter("fleet.jobs_dispatched").inc(plan.jobs)
             obs_state.histogram("fleet.batch_size").observe(plan.batch_size)
-        super()._execute_many(jobs, on_executed)
+        super()._execute_many(jobs, on_executed, on_error=on_error, pre_hook=pre_hook)

@@ -1,0 +1,535 @@
+"""Failure semantics for the fleet: backoff, quarantine, and the doctor.
+
+PR 9's fleet assumed the happy path: one misbehaving job failed its whole
+leased batch, a corrupt entry file simply vanished from every scan, and a
+poison job retried forever with no paper trail.  This module is the other
+half of the failure state machine:
+
+* :func:`backoff_seconds` -- deterministic exponential backoff with jitter
+  derived from ``(job_hash, attempt)`` through :func:`content_hash`, so retry
+  schedules are reproducible (and chaos tests can pin them) while still
+  decorrelating retries across jobs.  ``JobQueue.fail`` stamps the result
+  into ``QueueEntry.not_before``; ``lease`` honors it.
+
+* :class:`FailureRecord` / :class:`Quarantine` -- when a job exhausts
+  ``max_attempts`` (or repeatedly breaks the worker pool), its queue entry is
+  replaced by a structured record under ``<fleet_root>/quarantine/``: error
+  class, message, attempt count, and the per-attempt history the service
+  observed (tracebacks included).  Corrupt queue-entry files get moved --
+  bytes intact -- into the same namespace instead of being silently ignored.
+  Quarantine is terminal: nothing retries out of it without an explicit
+  resubmit.
+
+* :func:`run_doctor` -- the consistency audit behind ``repro fleet doctor
+  [--fix]``.  It cross-checks queue, store, campaign manifests, heartbeat,
+  and quarantine, reporting findings by severity; ``fix=True`` applies the
+  safe repairs (restore or quarantine corrupt entries, requeue done-but-lost
+  results, complete already-stored leases, recover expired leases, sweep
+  stray temp files).  The exit contract: a directory is healthy iff no
+  *unfixed* error-severity finding remains.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.fleet.queue import STATE_DONE, STATE_LEASED, STATE_QUEUED, JobQueue
+from repro.fleet.store import ShardedResultStore, _atomic_write_json
+from repro.hashing import content_hash
+
+__all__ = [
+    "RESILIENCE_SCHEMA_VERSION",
+    "DoctorReport",
+    "FailureRecord",
+    "Finding",
+    "Quarantine",
+    "backoff_seconds",
+    "run_doctor",
+]
+
+#: Stamped on every quarantine record (and the backoff jitter payloads).
+RESILIENCE_SCHEMA_VERSION = 1
+
+#: Subdirectory of a fleet root holding the quarantine namespace.
+QUARANTINE_SUBDIR = "quarantine"
+
+SEVERITY_ERROR = "error"
+SEVERITY_WARNING = "warning"
+SEVERITY_INFO = "info"
+
+#: Temp files older than this are stray (no atomic write takes seconds).
+STRAY_TMP_AGE = 60.0
+
+
+# ---------------------------------------------------------------------------
+# Deterministic retry backoff
+# ---------------------------------------------------------------------------
+
+
+def backoff_seconds(
+    job_hash: str,
+    attempt: int,
+    base: float = 0.25,
+    cap: float = 30.0,
+    jitter: float = 0.5,
+) -> float:
+    """Delay before retry ``attempt + 1`` of ``job_hash`` may be leased.
+
+    Exponential in the attempt number (``base * 2**(attempt-1)``, capped),
+    scaled by ``1 + jitter * u`` where ``u in [0, 1)`` is derived from
+    ``content_hash((job_hash, attempt))`` -- so the schedule is a pure
+    function of job identity and attempt count: reproducible everywhere,
+    pinnable in fixtures, yet decorrelated across jobs (no thundering-herd
+    retry waves after a batch failure).
+    """
+    if attempt < 1:
+        return 0.0
+    delay = min(cap, base * (2.0 ** (attempt - 1)))
+    digest = content_hash(
+        {
+            "schema": RESILIENCE_SCHEMA_VERSION,
+            "kind": "fleet_backoff",
+            "job_hash": job_hash,
+            "attempt": attempt,
+        }
+    )
+    unit = int(digest[:12], 16) / float(16**12)
+    return delay * (1.0 + jitter * unit)
+
+
+# ---------------------------------------------------------------------------
+# Quarantine
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FailureRecord:
+    """Why one job left the queue for quarantine, with its paper trail."""
+
+    job_hash: str
+    #: ``exhausted`` (max_attempts spent), ``poison-pool`` (repeatedly broke
+    #: the worker pool), or ``corrupt-entry`` (unreadable queue file).
+    reason: str
+    error_class: str
+    message: str
+    attempts: int
+    #: The serialized job payload, when the queue entry still carried one --
+    #: enough to resubmit the exact job after a fix.
+    job: Optional[Dict[str, Any]] = None
+    #: Per-attempt failures the recording service observed, oldest first
+    #: (``{"attempt", "error", "traceback"?}`` dicts).
+    history: Tuple[Dict[str, Any], ...] = ()
+    recorded_unix: Optional[float] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": RESILIENCE_SCHEMA_VERSION,
+            "job_hash": self.job_hash,
+            "reason": self.reason,
+            "error_class": self.error_class,
+            "message": self.message,
+            "attempts": self.attempts,
+            "job": self.job,
+            "history": list(self.history),
+            "recorded_unix": self.recorded_unix,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FailureRecord":
+        return cls(
+            job_hash=data["job_hash"],
+            reason=data["reason"],
+            error_class=data.get("error_class", "Exception"),
+            message=data.get("message", ""),
+            attempts=int(data.get("attempts", 0)),
+            job=data.get("job"),
+            history=tuple(data.get("history", ())),
+            recorded_unix=data.get("recorded_unix"),
+        )
+
+
+@dataclass
+class Quarantine:
+    """The terminal namespace for poison jobs and corrupt queue files.
+
+    ``<root>/jobs/<job_hash>.json`` holds one :class:`FailureRecord` per
+    quarantined job; ``<root>/corrupt/<name>`` holds corrupt queue-entry
+    files moved out of the scan path with their bytes intact (forensics
+    beats deletion).  Nothing in here is ever leased again.
+    """
+
+    root: Path
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root)
+
+    @property
+    def jobs_dir(self) -> Path:
+        return self.root / "jobs"
+
+    @property
+    def corrupt_dir(self) -> Path:
+        return self.root / "corrupt"
+
+    def add(self, record: FailureRecord) -> Path:
+        path = self.jobs_dir / f"{record.job_hash}.json"
+        _atomic_write_json(path, record.to_dict())
+        return path
+
+    def get(self, job_hash: str) -> Optional[FailureRecord]:
+        try:
+            with (self.jobs_dir / f"{job_hash}.json").open(
+                "r", encoding="utf-8"
+            ) as handle:
+                data = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if (
+            not isinstance(data, dict)
+            or data.get("schema") != RESILIENCE_SCHEMA_VERSION
+        ):
+            return None
+        try:
+            return FailureRecord.from_dict(data)
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def records(self) -> List[FailureRecord]:
+        if not self.jobs_dir.is_dir():
+            return []
+        found = []
+        for path in sorted(self.jobs_dir.glob("*.json")):
+            record = self.get(path.stem)
+            if record is not None:
+                found.append(record)
+        return found
+
+    def has(self, job_hash: str) -> bool:
+        """True when ``job_hash`` is accounted for in quarantine -- either a
+        structured record or a corrupt entry file moved here under its name."""
+        if (self.jobs_dir / f"{job_hash}.json").is_file():
+            return True
+        return (self.corrupt_dir / f"{job_hash}.json").is_file()
+
+    def absorb_corrupt(self, path: Path) -> Path:
+        """Move a corrupt file into the quarantine, keeping its name."""
+        self.corrupt_dir.mkdir(parents=True, exist_ok=True)
+        target = self.corrupt_dir / path.name
+        os.replace(path, target)
+        return target
+
+    def counts(self) -> Dict[str, int]:
+        jobs = len(list(self.jobs_dir.glob("*.json"))) if self.jobs_dir.is_dir() else 0
+        corrupt = (
+            len(list(self.corrupt_dir.iterdir())) if self.corrupt_dir.is_dir() else 0
+        )
+        return {"jobs": jobs, "corrupt": corrupt}
+
+
+# ---------------------------------------------------------------------------
+# The doctor
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One doctor observation: what, about which object, how bad, fixed?"""
+
+    severity: str
+    code: str
+    subject: str
+    message: str
+    fixed: bool = False
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "severity": self.severity,
+            "code": self.code,
+            "subject": self.subject,
+            "message": self.message,
+            "fixed": self.fixed,
+        }
+
+
+@dataclass
+class DoctorReport:
+    """Everything ``repro fleet doctor`` found, plus the health verdict."""
+
+    root: str
+    fix: bool
+    findings: List[Finding] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Healthy iff no error-severity finding is left unfixed."""
+        return not any(
+            finding.severity == SEVERITY_ERROR and not finding.fixed
+            for finding in self.findings
+        )
+
+    @property
+    def fixed_count(self) -> int:
+        return sum(1 for finding in self.findings if finding.fixed)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "root": self.root,
+            "fix": self.fix,
+            "ok": self.ok,
+            "fixed": self.fixed_count,
+            "findings": [finding.to_dict() for finding in self.findings],
+        }
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except (PermissionError, OSError):
+        return True  # exists, just not ours to signal
+    return True
+
+
+def _restore_from_store(
+    queue: JobQueue, store: ShardedResultStore, job_hash: str
+) -> bool:
+    """Rebuild a ``done`` queue entry from the store's result entry.
+
+    Store entries carry the full serialized job next to the payload, so a
+    corrupt queue file whose result already landed is fully recoverable.
+    """
+    try:
+        with store.job_path(job_hash).open("r", encoding="utf-8") as handle:
+            entry = json.load(handle)
+    except (OSError, ValueError):
+        return False
+    if not isinstance(entry, dict) or not isinstance(entry.get("job"), dict):
+        return False
+    queue.record_done(job_hash, entry["job"], note="doctor-restored")
+    return True
+
+
+def run_doctor(
+    root: Path,
+    fix: bool = False,
+    now: Optional[float] = None,
+    heartbeat_stale_after: float = 30.0,
+) -> DoctorReport:
+    """Audit one fleet directory's queue/store/manifest/heartbeat consistency.
+
+    Pure observation by default; ``fix=True`` additionally applies every
+    repair that cannot lose information.  Findings come back ordered by
+    check, each tagged with severity and whether it was fixed.  ``now`` is
+    injectable so tests audit frozen directories deterministically.
+    """
+    # Deferred import: service.py imports this module at top level.
+    from repro.fleet.service import FleetPaths
+
+    now = time.time() if now is None else now
+    paths = FleetPaths(Path(root))
+    queue = JobQueue(paths.queue_dir)
+    store = ShardedResultStore(paths.store_dir)
+    quarantine = Quarantine(paths.root / QUARANTINE_SUBDIR)
+    report = DoctorReport(root=str(paths.root), fix=fix)
+    findings = report.findings
+
+    # -- 1. corrupt queue entries --------------------------------------
+    # scan_settled retries transient-hidden entries so a one-scan read
+    # blip cannot fabricate a lost-job/skew verdict out of thin air.
+    entries, corrupt_paths = queue.scan_settled()
+    for path in corrupt_paths:
+        job_hash = path.stem
+        repaired = False
+        if fix:
+            if store.has_job(job_hash) and _restore_from_store(
+                queue, store, job_hash
+            ):
+                message = "corrupt queue entry restored from stored result"
+                repaired = True
+            else:
+                quarantine.absorb_corrupt(path)
+                message = "corrupt queue entry moved to quarantine"
+                repaired = True
+        else:
+            message = "unreadable queue entry (json or schema)"
+        findings.append(
+            Finding(SEVERITY_ERROR, "corrupt-entry", job_hash, message, repaired)
+        )
+    if fix and corrupt_paths:
+        entries, _ = queue.scan_settled()
+
+    # -- 2/3/4. queue-vs-store state skew ------------------------------
+    for entry in entries:
+        stored = store.has_job(entry.job_hash)
+        if entry.state == STATE_DONE and not stored:
+            repaired = False
+            if fix:
+                queue.record_queued(entry, note="doctor-requeued")
+                repaired = True
+            findings.append(
+                Finding(
+                    SEVERITY_ERROR,
+                    "done-missing-result",
+                    entry.job_hash,
+                    "entry is done but its result is not in the store",
+                    repaired,
+                )
+            )
+        elif entry.state in (STATE_QUEUED, STATE_LEASED) and stored:
+            repaired = False
+            if fix:
+                queue.complete(entry.job_hash)
+                repaired = True
+            findings.append(
+                Finding(
+                    SEVERITY_WARNING,
+                    "already-stored",
+                    entry.job_hash,
+                    f"{entry.state} entry already has a stored result",
+                    repaired,
+                )
+            )
+        elif (
+            entry.state == STATE_LEASED
+            and entry.lease_deadline is not None
+            and entry.lease_deadline <= now
+        ):
+            repaired = False
+            if fix:
+                queue.requeue_expired(now=now)
+                repaired = True
+            findings.append(
+                Finding(
+                    SEVERITY_WARNING,
+                    "expired-lease",
+                    entry.job_hash,
+                    f"lease expired (worker {entry.worker or 'unknown'})",
+                    repaired,
+                )
+            )
+
+    # -- 5. heartbeat liveness ------------------------------------------
+    undrained = any(
+        entry.state in (STATE_QUEUED, STATE_LEASED) for entry in entries
+    )
+    beat: Optional[Dict[str, Any]] = None
+    try:
+        with paths.heartbeat.open("r", encoding="utf-8") as handle:
+            loaded = json.load(handle)
+        if isinstance(loaded, dict):
+            beat = loaded
+    except (OSError, ValueError):
+        beat = None
+    if beat is None:
+        if undrained:
+            findings.append(
+                Finding(
+                    SEVERITY_WARNING,
+                    "no-service",
+                    "service.json",
+                    "work is pending but no service heartbeat exists",
+                )
+            )
+    else:
+        age = now - float(beat.get("updated_unix", 0.0))
+        pid = int(beat.get("pid", -1))
+        alive = pid > 0 and _pid_alive(pid)
+        if age > heartbeat_stale_after or not alive:
+            state = "stale" if age > heartbeat_stale_after else "dead-pid"
+            severity = SEVERITY_WARNING if undrained else SEVERITY_INFO
+            findings.append(
+                Finding(
+                    severity,
+                    "stale-heartbeat",
+                    "service.json",
+                    (
+                        f"heartbeat is {state} (age {age:.1f}s, pid {pid} "
+                        f"{'alive' if alive else 'not running'})"
+                        + ("; queued/leased work is waiting" if undrained else "")
+                    ),
+                )
+            )
+
+    # -- 6. stray temp files --------------------------------------------
+    for base in (queue.entries_dir, store.root, paths.campaigns_dir):
+        if not base.is_dir():
+            continue
+        for tmp in sorted(base.rglob("*.tmp")):
+            try:
+                age = now - tmp.stat().st_mtime
+            except OSError:
+                continue
+            if age <= STRAY_TMP_AGE:
+                continue
+            repaired = False
+            if fix:
+                try:
+                    tmp.unlink()
+                    repaired = True
+                except OSError:
+                    pass
+            findings.append(
+                Finding(
+                    SEVERITY_WARNING,
+                    "stray-tmp",
+                    str(tmp.relative_to(paths.root)),
+                    f"orphaned temp file ({age:.0f}s old)",
+                    repaired,
+                )
+            )
+
+    # -- 7. manifest accounting ------------------------------------------
+    known = {entry.job_hash for entry in entries}
+    if paths.campaigns_dir.is_dir():
+        for manifest_path in sorted(paths.campaigns_dir.glob("*.json")):
+            try:
+                with manifest_path.open("r", encoding="utf-8") as handle:
+                    manifest = json.load(handle)
+            except (OSError, ValueError):
+                continue
+            if not isinstance(manifest, dict) or "jobs" not in manifest:
+                continue
+            for job_hash in manifest["jobs"]:
+                if store.has_job(job_hash) or job_hash in known:
+                    continue
+                if quarantine.has(job_hash):
+                    findings.append(
+                        Finding(
+                            SEVERITY_INFO,
+                            "quarantined-job",
+                            job_hash,
+                            f"manifest job is quarantined "
+                            f"(campaign {manifest.get('campaign')})",
+                        )
+                    )
+                else:
+                    findings.append(
+                        Finding(
+                            SEVERITY_ERROR,
+                            "lost-job",
+                            job_hash,
+                            "manifest job has no queue entry, stored result, "
+                            "or quarantine record",
+                        )
+                    )
+
+    quarantine_counts = quarantine.counts()
+    if quarantine_counts["jobs"] or quarantine_counts["corrupt"]:
+        findings.append(
+            Finding(
+                SEVERITY_INFO,
+                "quarantine",
+                QUARANTINE_SUBDIR,
+                (
+                    f"{quarantine_counts['jobs']} quarantined job(s), "
+                    f"{quarantine_counts['corrupt']} corrupt file(s) preserved"
+                ),
+            )
+        )
+    return report

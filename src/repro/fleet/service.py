@@ -38,9 +38,27 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional
 
+from concurrent.futures.process import BrokenProcessPool
+
 from repro.fleet.autoscaler import Autoscaler, AutoscalerConfig
 from repro.fleet.batching import BatchingExecutor
-from repro.fleet.queue import STATE_FAILED, STATE_LEASED, STATE_QUEUED, JobQueue
+from repro.fleet.faults import directive_hook
+from repro.fleet.queue import (
+    COUNT_CORRUPT,
+    COUNT_TRANSIENT,
+    STATE_FAILED,
+    STATE_LEASED,
+    STATE_QUEUED,
+    JobQueue,
+    QueueEntry,
+)
+from repro.fleet.resilience import (
+    QUARANTINE_SUBDIR,
+    FailureRecord,
+    Quarantine,
+    _pid_alive,
+    _restore_from_store,
+)
 from repro.fleet.store import (
     FLEET_SCHEMA_VERSION,
     ShardedResultStore,
@@ -49,7 +67,7 @@ from repro.fleet.store import (
 from repro.hashing import content_hash
 from repro.obs import state as obs_state
 from repro.runtime.campaign import CAMPAIGNS, Campaign
-from repro.runtime.executor import SerialExecutor
+from repro.runtime.executor import JobFailure, SerialExecutor
 from repro.runtime.jobs import SimSpec
 
 __all__ = [
@@ -224,20 +242,30 @@ class FleetConfig:
     #: Non-drain services exit after this many seconds with nothing to do
     #: (None = run until killed).
     idle_timeout: Optional[float] = None
+    #: Optional chaos plan (:class:`repro.fleet.faults.FaultPlan`) threaded
+    #: into the queue, the store's report namespace, and job dispatch.
+    #: ``None`` in production (``repro serve --faults`` / ``REPRO_FLEET_FAULTS``
+    #: set it for chaos runs).
+    faults: Optional[Any] = None
 
 
 class FleetService:
     """A long-lived worker loop over one fleet directory."""
 
+    #: Entry note marking a suspected pool-breaker (dispatched solo).
+    POOL_SUSPECT = "pool-suspect"
+
     def __init__(self, config: FleetConfig) -> None:
         self.config = config
         self.paths = FleetPaths(Path(config.root))
-        self.store = ShardedResultStore(self.paths.store_dir)
+        self.store = ShardedResultStore(self.paths.store_dir, faults=config.faults)
         self.queue = JobQueue(
             self.paths.queue_dir,
             lease_timeout=config.lease_timeout,
             max_attempts=config.max_attempts,
+            faults=config.faults,
         )
+        self.quarantine = Quarantine(self.paths.root / QUARANTINE_SUBDIR)
         self.executor = BatchingExecutor(
             max_workers=config.workers, batch_size=config.batch_size
         )
@@ -247,39 +275,252 @@ class FleetService:
         self.worker_name = f"service-{os.getpid()}"
         self.rounds = 0
         self.jobs_run = 0
+        self.jobs_failed = 0
+        self.jobs_quarantined = 0
         self.reports_finalized = 0
+        self.poll_errors = 0
+        #: Last in-memory copy of every entry this service has leased --
+        #: the healing source when an entry's on-disk file gets torn.
+        self._known: Dict[str, QueueEntry] = {}
+        #: Per-job failure history observed by this process (feeds the
+        #: quarantine ``FailureRecord``; tracebacks included).
+        self._failure_history: Dict[str, List[Dict[str, Any]]] = {}
 
     # -- one poll's worth of work ---------------------------------------
     def run_once(self, now: Optional[float] = None) -> int:
-        """Recover, lease, execute, complete, finalize, autoscale -- once.
+        """Heal, recover, lease, execute, quarantine, finalize -- once.
 
-        Returns the number of jobs executed (0 means the poll found nothing).
+        Returns the number of jobs *completed* (0 means the poll found
+        nothing, or everything it found failed).  Per-job failures never
+        propagate out of here: culprits are ``fail()``ed behind a backoff
+        window (and eventually quarantined), healthy co-leased jobs complete.
         ``now`` is injectable for tests; the default is the wall clock, which
-        only ever gates *scheduling* (leases, cooldowns), never results.
+        only ever gates *scheduling* (leases, cooldowns, backoff), never
+        results.
         """
         now = time.time() if now is None else now
         self.rounds += 1
+        self._heal_corrupt(now)
         self.queue.requeue_expired(now=now)
+        self._quarantine_exhausted(now)
         leased = self.queue.lease(
             limit=self.config.lease_limit, worker=self.worker_name, now=now
         )
+        completed = 0
         if leased:
-            jobs = [entry.build_job() for entry in leased]
-            try:
-                self.executor.run(jobs, cache=self.store.job_cache())
-            except Exception as error:  # noqa: BLE001 - any job failure
-                for entry in leased:
-                    self.queue.fail(entry.job_hash, error=repr(error))
-                raise
+            # Suspected pool-breakers run solo so a repeat collapse names its
+            # culprit exactly; everything else shares one dispatch.
+            solo = [e for e in leased if e.note == self.POOL_SUSPECT]
+            grouped = [e for e in leased if e.note != self.POOL_SUSPECT]
             for entry in leased:
-                self.queue.complete(entry.job_hash)
-            self.jobs_run += len(leased)
-            obs_state.counter("fleet.jobs_completed").inc(len(leased))
+                self._known[entry.job_hash] = entry
+            for dispatch in [[entry] for entry in solo] + (
+                [grouped] if grouped else []
+            ):
+                completed += self._dispatch(dispatch, now)
+            # Sweep again so a job exhausted by *this* poll's dispatch is
+            # quarantined before a draining loop can observe it and exit.
+            self._quarantine_exhausted(now)
         self.reports_finalized += self.finalize_reports()
         if self.config.autoscale:
             self._autoscale_tick(now)
         self._write_heartbeat(now)
-        return len(leased)
+        return completed
+
+    # -- dispatch and failure isolation ---------------------------------
+    def _dispatch(self, entries: List[QueueEntry], now: float) -> int:
+        """Run one leased slice; complete survivors, fail culprits."""
+        jobs = [entry.build_job() for entry in entries]
+        pre_hook = None
+        if self.config.faults is not None:
+            directives = self.config.faults.job_directives(
+                [(entry.job_hash, entry.attempts) for entry in entries]
+            )
+            if directives:
+                pre_hook = directive_hook(directives)
+        failures: Dict[str, JobFailure] = {}
+
+        def on_error(job: Any, failure: JobFailure) -> None:
+            failures[job.content_hash] = failure
+
+        try:
+            self.executor.run(
+                jobs,
+                cache=self.store.job_cache(),
+                on_error=on_error,
+                pre_hook=pre_hook,
+            )
+        except BrokenProcessPool:
+            self._recover_pool_break(entries, now)
+            return 0
+        except Exception as error:  # noqa: BLE001 - infrastructure failure
+            # Not a per-job error (isolation would have routed it): charge
+            # the whole slice one attempt and keep the service alive.
+            obs_state.counter("fleet.failures.dispatch").inc()
+            failure = JobFailure(
+                job_hash="",
+                kind=type(error).__name__,
+                message=str(error),
+                traceback="",
+            )
+            for entry in entries:
+                self._fail_entry(entry, failure, now)
+            return 0
+        completed = 0
+        for entry in entries:
+            failure = failures.get(entry.job_hash)
+            if failure is None:
+                # fallback= heals a torn/corrupt on-disk lease record.
+                self.queue.complete(entry.job_hash, fallback=entry)
+                completed += 1
+            else:
+                self._fail_entry(entry, failure, now)
+        if completed:
+            self.jobs_run += completed
+            obs_state.counter("fleet.jobs_completed").inc(completed)
+        return completed
+
+    def _recover_pool_break(self, entries: List[QueueEntry], now: float) -> None:
+        """A worker died and poisoned the pool: requeue, suspect, recover.
+
+        The executor has already torn the broken pool down (a fresh one is
+        built lazily on the next dispatch).  Results from this slice never
+        landed, so: a solo dispatch identifies its culprit exactly and is
+        charged the attempt; a shared dispatch releases every entry with the
+        attempt *refunded* and marks them pool-suspects to be retried solo.
+        Repeat solo breakers exhaust their budget and end up quarantined as
+        poison.
+        """
+        obs_state.counter("fleet.failures.pool_breaks").inc()
+        for entry in entries:
+            if self.store.has_job(entry.job_hash):
+                self.queue.complete(entry.job_hash, fallback=entry)
+                continue
+            if len(entries) == 1:
+                self._record_history(
+                    entry,
+                    "BrokenProcessPool",
+                    "worker process died during solo dispatch",
+                )
+                self.queue.fail(
+                    entry.job_hash,
+                    error="BrokenProcessPool: worker died during solo dispatch",
+                    now=now,
+                    fallback=entry,
+                )
+                self.jobs_failed += 1
+                obs_state.counter("fleet.failures.jobs").inc()
+            else:
+                self.queue.release(
+                    entry.job_hash, note=self.POOL_SUSPECT, fallback=entry
+                )
+                obs_state.counter("fleet.retries.pool_suspects").inc()
+
+    def _fail_entry(
+        self, entry: QueueEntry, failure: JobFailure, now: float
+    ) -> None:
+        self._record_history(
+            entry, failure.kind, failure.message, failure.traceback
+        )
+        updated = self.queue.fail(
+            entry.job_hash, error=failure.describe(), now=now, fallback=entry
+        )
+        self.jobs_failed += 1
+        obs_state.counter("fleet.failures.jobs").inc()
+        if updated.state == STATE_QUEUED:
+            obs_state.counter("fleet.retries.scheduled").inc()
+
+    def _record_history(
+        self,
+        entry: QueueEntry,
+        error_class: str,
+        message: str,
+        traceback: str = "",
+    ) -> None:
+        record: Dict[str, Any] = {
+            "attempt": entry.attempts,
+            "error_class": error_class,
+            "error": f"{error_class}: {message}",
+        }
+        if traceback:
+            record["traceback"] = traceback
+        self._failure_history.setdefault(entry.job_hash, []).append(record)
+
+    # -- healing and quarantine -----------------------------------------
+    def _heal_corrupt(self, now: float) -> None:
+        """Restore or quarantine unreadable queue-entry files.
+
+        Restoration sources, in order: the store (result already landed ->
+        rewrite as ``done``), this service's in-memory copy (we leased it ->
+        requeue it).  A corrupt file with neither source is left alone until
+        it is older than the lease timeout -- an in-flight torn write gets
+        healed by ``complete(fallback=...)`` within one poll -- then moved,
+        bytes intact, into quarantine with a ``FailureRecord``.
+        """
+        _, corrupt, _ = self.queue.scan()
+        for path in corrupt:
+            job_hash = path.stem
+            if self.store.has_job(job_hash) and _restore_from_store(
+                self.queue, self.store, job_hash
+            ):
+                obs_state.counter("fleet.failures.corrupt_healed").inc()
+                continue
+            known = self._known.get(job_hash)
+            if known is not None:
+                self.queue.record_queued(known, note="healed")
+                obs_state.counter("fleet.failures.corrupt_healed").inc()
+                continue
+            try:
+                age = now - path.stat().st_mtime
+            except OSError:
+                continue
+            if age <= self.config.lease_timeout:
+                continue
+            self.quarantine.add(
+                FailureRecord(
+                    job_hash=job_hash,
+                    reason="corrupt-entry",
+                    error_class="ValueError",
+                    message="unreadable queue entry with no recovery source",
+                    attempts=0,
+                    recorded_unix=now,
+                )
+            )
+            self.quarantine.absorb_corrupt(path)
+            self.jobs_quarantined += 1
+            obs_state.counter("fleet.failures.quarantined").inc()
+
+    def _quarantine_exhausted(self, now: float) -> None:
+        """Move terminally-failed entries out of the queue, with forensics."""
+        for entry in self.queue.entries():
+            if entry.state != STATE_FAILED:
+                continue
+            history = tuple(self._failure_history.pop(entry.job_hash, ()))
+            error_class = (
+                history[-1].get("error_class", "Exception")
+                if history
+                else "Exception"
+            )
+            self.quarantine.add(
+                FailureRecord(
+                    job_hash=entry.job_hash,
+                    reason=(
+                        "poison-pool"
+                        if entry.note == self.POOL_SUSPECT
+                        else "exhausted"
+                    ),
+                    error_class=error_class,
+                    message=entry.error or "",
+                    attempts=entry.attempts,
+                    job=entry.job,
+                    history=history,
+                    recorded_unix=now,
+                )
+            )
+            self.queue.remove(entry.job_hash)
+            self._known.pop(entry.job_hash, None)
+            self.jobs_quarantined += 1
+            obs_state.counter("fleet.failures.quarantined").inc()
 
     def _autoscale_tick(self, now: float) -> None:
         counts = self.queue.counts()
@@ -375,10 +616,21 @@ class FleetService:
         config = self.config
         started = time.time()
         saw_work = False
+        drained_at_exit = False
         idle_since: Optional[float] = None
         try:
             while True:
-                executed = self.run_once()
+                try:
+                    executed = self.run_once()
+                except Exception:  # noqa: BLE001 - degrade, keep polling
+                    # An injected (or real) infrastructure error escaped a
+                    # poll -- e.g. an OSError out of a queue write.  The
+                    # queue's durable state self-recovers (leases expire,
+                    # corrupt files heal); crashing the service would not.
+                    self.poll_errors += 1
+                    obs_state.counter("fleet.failures.poll_errors").inc()
+                    time.sleep(config.poll_interval)
+                    continue
                 now = time.time()
                 if executed:
                     saw_work = True
@@ -389,7 +641,12 @@ class FleetService:
                     counts[STATE_QUEUED] == 0 and counts[STATE_LEASED] == 0
                 )
                 if self.drained():
+                    # drained() is only ever True on a complete (nothing
+                    # transient-hidden) scan, so the observation is
+                    # trustworthy at this instant -- record it for the
+                    # summary, whose own rescan could be degraded.
                     if config.drain and (saw_work or now - started >= config.drain_grace):
+                        drained_at_exit = True
                         break
                     if idle_since is None:
                         idle_since = now
@@ -397,11 +654,22 @@ class FleetService:
                         config.idle_timeout is not None
                         and now - idle_since >= config.idle_timeout
                     ):
+                        drained_at_exit = True
                         break
-                elif config.drain and queue_empty and counts[STATE_FAILED] > 0:
-                    # Manifests are pending but their jobs have permanently
-                    # failed: draining further cannot make progress.  Exit and
-                    # let the status/verify side report the failures.
+                elif (
+                    config.drain
+                    and queue_empty
+                    and counts[COUNT_CORRUPT] == 0
+                    and counts[COUNT_TRANSIENT] == 0
+                    and (
+                        counts[STATE_FAILED] > 0
+                        or self.quarantine.counts()["jobs"] > 0
+                    )
+                ):
+                    # Manifests are pending but their missing jobs are
+                    # terminally failed or quarantined: draining further
+                    # cannot make progress.  Exit and let status/doctor/
+                    # verify report the damage.
                     break
                 time.sleep(config.poll_interval)
         finally:
@@ -409,11 +677,19 @@ class FleetService:
         return {
             "rounds": self.rounds,
             "jobs_run": self.jobs_run,
+            "jobs_failed": self.jobs_failed,
+            "jobs_quarantined": self.jobs_quarantined,
+            "poll_errors": self.poll_errors,
             "reports_finalized": self.reports_finalized,
-            "drained": self.drained(),
+            "drained": drained_at_exit or self.drained(),
             "workers": self.executor.max_workers,
             "scaling_events": sum(
                 1 for decision in self.autoscaler.decisions if decision.scaled
+            ),
+            "faults": (
+                self.config.faults.summary()
+                if self.config.faults is not None
+                else {}
             ),
         }
 
@@ -423,8 +699,18 @@ class FleetService:
 # ---------------------------------------------------------------------------
 
 
-def fleet_status(root: Path) -> Dict[str, Any]:
-    """A JSON-friendly snapshot of one fleet directory's state."""
+def fleet_status(
+    root: Path,
+    now: Optional[float] = None,
+    stale_after: float = 30.0,
+) -> Dict[str, Any]:
+    """A JSON-friendly snapshot of one fleet directory's state.
+
+    The ``service`` block carries a ``health`` verdict: heartbeat age, pid
+    liveness, and a ``stale`` flag (age beyond ``stale_after`` or a dead
+    pid) -- a wedged or killed service reads as exactly that, not healthy.
+    """
+    now = time.time() if now is None else now
     paths = FleetPaths(Path(root))
     store = ShardedResultStore(paths.store_dir)
     queue = JobQueue(paths.queue_dir)
@@ -454,17 +740,29 @@ def fleet_status(root: Path) -> Dict[str, Any]:
         with paths.heartbeat.open("r", encoding="utf-8") as handle:
             beat = json.load(handle)
         if isinstance(beat, dict):
-            service = beat
+            service = dict(beat)
     except (OSError, ValueError):
         service = None
+    if service is not None:
+        age = now - float(service.get("updated_unix", 0.0))
+        pid = int(service.get("pid", -1))
+        alive = pid > 0 and _pid_alive(pid)
+        service["health"] = {
+            "age_seconds": age,
+            "alive": alive,
+            "stale": age > stale_after or not alive,
+        }
     counts = queue.counts()
+    quarantine = Quarantine(paths.root / QUARANTINE_SUBDIR)
     return {
         "root": str(paths.root),
         "queue": counts,
         "drained": counts["queued"] == 0
         and counts["leased"] == 0
+        and counts[COUNT_TRANSIENT] == 0
         and all(entry["reported"] for entry in campaigns),
         "store": store.stats(),
+        "quarantine": quarantine.counts(),
         "campaigns": campaigns,
         "service": service,
     }

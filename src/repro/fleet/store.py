@@ -57,8 +57,23 @@ _JOBS_SUBDIR = "jobs"
 _REPORTS_SUBDIR = "reports"
 
 
-def _atomic_write_json(path: Path, document: Dict[str, Any]) -> None:
-    """Write ``document`` to ``path`` via a same-directory temp file."""
+def _atomic_write_json(
+    path: Path,
+    document: Dict[str, Any],
+    faults: Optional[Any] = None,
+    fault_op: Optional[str] = None,
+) -> None:
+    """Write ``document`` to ``path`` via a same-directory temp file.
+
+    ``faults``/``fault_op`` are the chaos seam: when a
+    :class:`~repro.fleet.faults.FaultPlan` is attached, it may replace the
+    write with a torn one, drop it (leaving a stray temp file), or raise an
+    injected ``OSError`` -- deterministically from its seed.  Production
+    callers pass neither and get the plain atomic write.
+    """
+    if faults is not None and fault_op is not None:
+        if faults.intercept_write(fault_op, path, document) is not None:
+            return
     path.parent.mkdir(parents=True, exist_ok=True)
     descriptor, temp_name = tempfile.mkstemp(
         prefix=f".{path.stem[:8]}-", suffix=".tmp", dir=path.parent
@@ -80,6 +95,11 @@ class ShardedResultStore:
     """Job results plus spec-hash-keyed sweep reports under one root."""
 
     root: Path
+    #: Optional chaos plan (:class:`repro.fleet.faults.FaultPlan`) applied to
+    #: the report namespace's reads/writes; ``None`` in production.  The job
+    #: namespace goes through ``ResultCache`` (runtime layer) and is not
+    #: intercepted -- runtime never sees fleet.
+    faults: Optional[Any] = None
     _job_cache: ResultCache = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
@@ -150,6 +170,8 @@ class ShardedResultStore:
         read as absent: the sweep simply runs again and rewrites them.
         """
         try:
+            if self.faults is not None:
+                self.faults.intercept_read("store.read", self.report_path(spec_hash))
             with self.report_path(spec_hash).open("r", encoding="utf-8") as handle:
                 entry = json.load(handle)
         except (OSError, ValueError):
@@ -173,6 +195,8 @@ class ShardedResultStore:
                 "spec_hash": spec_hash,
                 "report": report,
             },
+            faults=self.faults,
+            fault_op="store.write",
         )
         obs_state.counter("fleet.store.report_writes").inc()
         return path

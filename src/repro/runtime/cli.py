@@ -945,13 +945,19 @@ def _fleet_campaign(args: argparse.Namespace):
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    from repro.fleet import AutoscalerConfig, FleetConfig, FleetService
+    from repro.fleet import AutoscalerConfig, FaultPlan, FleetConfig, FleetService
 
     ui = _console_for(args)
     if args.workers < 1:
         raise _CliError(f"--workers must be at least 1, got {args.workers}")
     if args.batch_size is not None and args.batch_size < 1:
         raise _CliError(f"--batch-size must be at least 1, got {args.batch_size}")
+    faults = None
+    if args.faults:
+        try:
+            faults = FaultPlan.parse(args.faults)
+        except ValueError as error:
+            raise _CliError(f"invalid --faults spec: {error}") from error
     try:
         autoscaler = AutoscalerConfig(
             min_workers=args.min_workers,
@@ -978,6 +984,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         drain=args.drain,
         drain_grace=args.drain_grace,
         idle_timeout=args.idle_timeout,
+        faults=faults,
     )
     service = FleetService(config)
     ui.info(
@@ -986,6 +993,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"{'on' if config.autoscale else 'off'}"
         f"{', drain mode' if config.drain else ''})"
     )
+    if faults is not None:
+        ui.info(f"chaos faults active: {faults.describe()}")
     try:
         with obs.span("cli.serve", root=str(config.root)):
             summary = service.serve_forever()
@@ -1042,20 +1051,43 @@ def _cmd_fleet_status(args: argparse.Namespace) -> int:
         return 0
     queue = status["queue"]
     ui.out(f"fleet: {status['root']}")
+    corrupt_suffix = (
+        f", {queue['corrupt']} CORRUPT" if queue.get("corrupt") else ""
+    )
     ui.out(
         f"  queue: {queue['queued']} queued, {queue['leased']} leased, "
-        f"{queue['done']} done, {queue['failed']} failed"
+        f"{queue['done']} done, {queue['failed']} failed{corrupt_suffix}"
     )
     store = status["store"]
     ui.out(
         f"  store: {store['jobs']} job(s), {store['reports']} report(s), "
         f"{store['bytes'] / 1024:.1f} KiB"
     )
+    quarantine = status.get("quarantine", {})
+    if quarantine.get("jobs") or quarantine.get("corrupt"):
+        ui.out(
+            f"  quarantine: {quarantine.get('jobs', 0)} job(s), "
+            f"{quarantine.get('corrupt', 0)} corrupt file(s)"
+        )
     for entry in status["campaigns"]:
         state = "reported" if entry["reported"] else (
             f"{entry['landed']}/{entry['jobs']} landed"
         )
         ui.out(f"  campaign {entry['campaign']}: {state}")
+    service = status.get("service")
+    if service is not None and "health" in service:
+        health = service["health"]
+        if health["stale"]:
+            reason = (
+                "pid not running" if not health["alive"]
+                else f"heartbeat {health['age_seconds']:.0f}s old"
+            )
+            ui.out(f"  service: STALE ({reason}, pid {service.get('pid')})")
+        else:
+            ui.out(
+                f"  service: alive (pid {service.get('pid')}, "
+                f"{service.get('workers')} worker(s))"
+            )
     ui.out(f"  drained: {'yes' if status['drained'] else 'no'}")
     return 0
 
@@ -1087,6 +1119,53 @@ def _cmd_fleet_migrate(args: argparse.Namespace) -> int:
     store = ShardedResultStore(FleetPaths(args.fleet_dir).store_dir)
     moved = store.migrate_flat(source=args.source)
     ui.out(f"migrate: {moved} entr(ies) moved into {store.jobs_root}")
+    return 0
+
+
+def _cmd_fleet_doctor(args: argparse.Namespace) -> int:
+    from repro.fleet import run_doctor
+
+    ui = _console_for(args)
+    report = run_doctor(args.fleet_dir, fix=args.fix)
+    if args.json:
+        ui.out(json.dumps(report.to_dict(), indent=2))
+        return 0 if report.ok else 1
+    ui.out(f"doctor: {report.root}")
+    if not report.findings:
+        ui.out("  no findings; directory is consistent")
+    for finding in report.findings:
+        tag = finding.severity.upper()
+        fixed = " [fixed]" if finding.fixed else ""
+        ui.out(f"  {tag} {finding.code} {finding.subject}: "
+               f"{finding.message}{fixed}")
+    verdict = "healthy" if report.ok else "UNHEALTHY"
+    ui.out(
+        f"  verdict: {verdict} ({len(report.findings)} finding(s), "
+        f"{report.fixed_count} fixed)"
+    )
+    return 0 if report.ok else 1
+
+
+def _cmd_fleet_gc(args: argparse.Namespace) -> int:
+    from repro.fleet import JobQueue
+    from repro.fleet.service import FleetPaths
+
+    ui = _console_for(args)
+    if args.ttl < 0:
+        raise _CliError(f"--ttl must be non-negative, got {args.ttl}")
+    queue = JobQueue(FleetPaths(args.fleet_dir).queue_dir)
+    summary = queue.gc(ttl=args.ttl, dry_run=args.dry_run)
+    if args.json:
+        ui.out(json.dumps(summary, indent=2))
+    else:
+        verb = "would remove" if args.dry_run else "removed"
+        ui.out(
+            f"gc: {verb} {summary['removed_done']} done, "
+            f"{summary['removed_failed']} failed, "
+            f"{summary['removed_tmp']} stray tmp "
+            f"({summary['kept']} kept of {summary['scanned']} scanned, "
+            f"ttl {args.ttl:g}s)"
+        )
     return 0
 
 
@@ -1583,6 +1662,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="without --drain: exit after S idle seconds (default: run forever)",
     )
     serve_parser.add_argument(
+        "--faults",
+        default=os.environ.get("REPRO_FLEET_FAULTS"),
+        metavar="SPEC",
+        help=(
+            "seeded chaos plan for fault-injection runs, e.g. "
+            "'seed=42;torn@queue.write=0.1;crash@job=0.2;hang@job=0.1:0.05' "
+            "(default: $REPRO_FLEET_FAULTS; unset = no faults)"
+        ),
+    )
+    serve_parser.add_argument(
         "--json", action="store_true", help="emit the exit summary as JSON"
     )
     _add_obs_flags(serve_parser)
@@ -1643,6 +1732,48 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     fleet_migrate_parser.set_defaults(handler=_cmd_fleet_migrate)
+    fleet_doctor_parser = fleet_sub.add_parser(
+        "doctor",
+        help="audit queue/store/heartbeat consistency (exit 1 when unhealthy)",
+        description=(
+            "Cross-check the fleet directory for corrupt queue entries, "
+            "queue/store state skew, expired leases, stale heartbeats, stray "
+            "temp files, and lost manifest jobs.  --fix applies every repair "
+            "that cannot lose information (restore or quarantine corrupt "
+            "entries, requeue lost results, complete already-stored leases, "
+            "sweep temp files)."
+        ),
+    )
+    add_fleet_dir(fleet_doctor_parser)
+    fleet_doctor_parser.add_argument(
+        "--fix", action="store_true", help="apply safe repairs while auditing"
+    )
+    fleet_doctor_parser.add_argument(
+        "--json", action="store_true", help="emit the findings as JSON"
+    )
+    fleet_doctor_parser.set_defaults(handler=_cmd_fleet_doctor)
+    fleet_gc_parser = fleet_sub.add_parser(
+        "gc",
+        help="compact done/failed queue entries older than a TTL",
+        description=(
+            "Remove terminal (done/failed) queue-entry files whose last "
+            "state change is older than --ttl, plus stray temp files of the "
+            "same age.  Queued and leased entries are never touched."
+        ),
+    )
+    add_fleet_dir(fleet_gc_parser)
+    fleet_gc_parser.add_argument(
+        "--ttl", type=float, default=3600.0, metavar="S",
+        help="age in seconds before a terminal entry is collected (default 3600)",
+    )
+    fleet_gc_parser.add_argument(
+        "--dry-run", action="store_true",
+        help="report what would be removed without deleting anything",
+    )
+    fleet_gc_parser.add_argument(
+        "--json", action="store_true", help="emit the summary as JSON"
+    )
+    fleet_gc_parser.set_defaults(handler=_cmd_fleet_gc)
 
     return parser
 

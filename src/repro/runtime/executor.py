@@ -42,6 +42,7 @@ import math
 import multiprocessing
 import os
 import time
+import traceback as traceback_module
 import weakref
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
@@ -69,6 +70,45 @@ class ProgressUpdate:
 
 
 ProgressCallback = Callable[[ProgressUpdate], None]
+
+
+@dataclass(frozen=True)
+class JobFailure:
+    """Why one job's execution failed, in picklable form.
+
+    Produced on whichever side of the pool boundary the exception happened
+    and handed to the caller's ``on_error`` callback -- the exception object
+    itself never crosses process boundaries (tracebacks do not pickle, and a
+    worker-defined exception class may not even import in the parent).
+    """
+
+    job_hash: str
+    kind: str
+    message: str
+    traceback: str
+
+    def describe(self) -> str:
+        return f"{self.kind}: {self.message}"
+
+
+#: Isolation callback: invoked once per unique failed job instead of letting
+#: the exception tear down the whole batch.
+FailureCallback = Callable[[Job, JobFailure], None]
+
+#: Pre-execution seam: invoked with each job right before it runs, *in the
+#: process that runs it* (a pool worker under ``ParallelExecutor``).  This is
+#: the fleet chaos harness's injection point; it must be picklable (a
+#: module-level function or ``functools.partial`` over one).
+PreExecuteHook = Callable[[Job], None]
+
+
+def _failure_from(job: Job, error: BaseException) -> JobFailure:
+    return JobFailure(
+        job_hash=job.content_hash,
+        kind=type(error).__name__,
+        message=str(error),
+        traceback=traceback_module.format_exc(),
+    )
 
 
 @dataclass(frozen=True)
@@ -102,6 +142,10 @@ class ExecutionReport:
     cache_hits: int
     executed: int
     elapsed: float
+    #: Unique jobs whose execution raised while ``on_error`` isolation was
+    #: active; they have no outcome entry.  Always 0 without isolation (the
+    #: exception propagates instead).
+    failed: int = 0
 
     @property
     def submitted(self) -> int:
@@ -162,8 +206,19 @@ class Executor:
         jobs: Sequence[Job],
         cache: Optional[ResultCache] = None,
         progress: Optional[ProgressCallback] = None,
+        on_error: Optional[FailureCallback] = None,
+        pre_hook: Optional[PreExecuteHook] = None,
     ) -> ExecutionReport:
-        """Execute ``jobs`` (deduplicated) and return the full report."""
+        """Execute ``jobs`` (deduplicated) and return the full report.
+
+        Without ``on_error``, any job exception propagates and the whole call
+        fails -- the historical contract every experiment path relies on.
+        With ``on_error``, failures are isolated per job: the callback gets
+        ``(job, JobFailure)``, the failed job simply has no outcome entry,
+        and every healthy job still completes.  ``pre_hook`` runs before each
+        job in the executing process (the fault-injection seam); a hook
+        exception counts as that job's failure under isolation.
+        """
         jobs = list(jobs)
         started = time.perf_counter()
 
@@ -235,11 +290,25 @@ class Executor:
                     )
                 )
 
+        failed_hashes: set = set()
+        isolate = on_error is not None
+
+        def on_failed(job: Job, failure: JobFailure) -> None:
+            failed_hashes.add(job.content_hash)
+            if metrics_on:
+                obs_state.counter("executor.failed").inc()
+            on_error(job, failure)
+
         if pending:
             with _span(
                 "executor.run", executor=type(self).__name__, jobs=len(pending)
             ):
-                self._execute_many(pending, on_executed)
+                self._execute_many(
+                    pending,
+                    on_executed,
+                    on_error=on_failed if isolate else None,
+                    pre_hook=pre_hook,
+                )
 
         outcomes = [
             JobOutcome(
@@ -249,24 +318,62 @@ class Executor:
                 stats=stats_by_hash.get(job.content_hash),
             )
             for job in jobs
+            if job.content_hash in resolved
         ]
         return ExecutionReport(
             outcomes=outcomes,
             unique_jobs=total,
             cache_hits=len(hit_hashes),
-            executed=len(pending),
+            executed=len(pending) - len(failed_hashes),
             elapsed=time.perf_counter() - started,
+            failed=len(failed_hashes),
         )
 
     def _execute_many(
         self,
         jobs: List[Job],
         on_executed: Callable[..., None],
+        on_error: Optional[FailureCallback] = None,
+        pre_hook: Optional[PreExecuteHook] = None,
     ) -> None:
         raise NotImplementedError
 
     def close(self) -> None:
         """Release executor resources (a no-op for in-process executors)."""
+
+
+def _execute_inline(
+    jobs: List[Job],
+    on_executed: Callable[..., None],
+    on_error: Optional[FailureCallback] = None,
+    pre_hook: Optional[PreExecuteHook] = None,
+) -> None:
+    """Run jobs in the calling process, with gauges and optional isolation.
+
+    The same gauges the pool path maintains, so a --sample-interval time
+    series reads consistently whichever executor ran (all gauge writes are
+    no-ops while telemetry is disabled).
+    """
+    queue_gauge = obs_state.gauge("executor.queue_depth")
+    in_flight_gauge = obs_state.gauge("executor.in_flight")
+    obs_state.gauge("executor.workers").set(1)
+    for index, job in enumerate(jobs):
+        queue_gauge.set(len(jobs) - index - 1)
+        in_flight_gauge.set(1)
+        if on_error is not None:
+            try:
+                if pre_hook is not None:
+                    pre_hook(job)
+                payload, stats = execute_job_with_stats(job)
+            except Exception as error:  # noqa: BLE001 - isolation contract
+                on_error(job, _failure_from(job, error))
+                continue
+        else:
+            if pre_hook is not None:
+                pre_hook(job)
+            payload, stats = execute_job_with_stats(job)
+        on_executed(job, payload, stats)
+    in_flight_gauge.set(0)
 
 
 @dataclass
@@ -277,22 +384,40 @@ class SerialExecutor(Executor):
         self,
         jobs: List[Job],
         on_executed: Callable[..., None],
+        on_error: Optional[FailureCallback] = None,
+        pre_hook: Optional[PreExecuteHook] = None,
     ) -> None:
-        # The same gauges the pool path maintains, so a --sample-interval
-        # time series reads consistently whichever executor ran (all gauge
-        # writes are no-ops while telemetry is disabled).
-        queue_gauge = obs_state.gauge("executor.queue_depth")
-        in_flight_gauge = obs_state.gauge("executor.in_flight")
-        obs_state.gauge("executor.workers").set(1)
-        for index, job in enumerate(jobs):
-            queue_gauge.set(len(jobs) - index - 1)
-            in_flight_gauge.set(1)
-            payload, stats = execute_job_with_stats(job)
-            on_executed(job, payload, stats)
-        in_flight_gauge.set(0)
+        _execute_inline(jobs, on_executed, on_error=on_error, pre_hook=pre_hook)
 
 
-def _pool_execute_batch(jobs: List[Job], collect_metrics: bool):
+def _run_batch_jobs(
+    jobs: List[Job],
+    isolate: bool,
+    pre_hook: Optional[PreExecuteHook],
+) -> List[Any]:
+    """Run one batch in order; items are ``(payload, stats)`` or ``JobFailure``."""
+    executed: List[Any] = []
+    for job in jobs:
+        if isolate:
+            try:
+                if pre_hook is not None:
+                    pre_hook(job)
+                executed.append(execute_job_with_stats(job))
+            except Exception as error:  # noqa: BLE001 - isolation contract
+                executed.append(_failure_from(job, error))
+        else:
+            if pre_hook is not None:
+                pre_hook(job)
+            executed.append(execute_job_with_stats(job))
+    return executed
+
+
+def _pool_execute_batch(
+    jobs: List[Job],
+    collect_metrics: bool,
+    isolate: bool = False,
+    pre_hook: Optional[PreExecuteHook] = None,
+):
     """Worker-side task: run a batch of jobs, optionally under a metrics scope.
 
     One submission carries ``len(jobs)`` jobs, so the pickle/IPC round trip is
@@ -308,11 +433,16 @@ def _pool_execute_batch(jobs: List[Job], collect_metrics: bool):
     append-mode JSONL file.  The registry snapshot travels back with the
     results and is merged into the parent registry, which is how worker-side
     metrics aggregate across ``run()`` calls.
+
+    With ``isolate``, a job exception is captured as a :class:`JobFailure`
+    element in the result list instead of poisoning the batch -- the parent
+    routes it to ``on_error`` and every other job in the batch still lands.
+    ``pre_hook`` runs before each job *in this worker process*.
     """
     if not collect_metrics:
-        return [execute_job_with_stats(job) for job in jobs], None
+        return _run_batch_jobs(jobs, isolate, pre_hook), None
     with obs_state.scoped() as scope:
-        executed = [execute_job_with_stats(job) for job in jobs]
+        executed = _run_batch_jobs(jobs, isolate, pre_hook)
         snapshot = scope.registry.snapshot()
     return executed, snapshot
 
@@ -430,19 +560,13 @@ class ParallelExecutor(Executor):
         self,
         jobs: List[Job],
         on_executed: Callable[..., None],
+        on_error: Optional[FailureCallback] = None,
+        pre_hook: Optional[PreExecuteHook] = None,
     ) -> None:
         if self.max_workers == 1 or (len(jobs) == 1 and self._pool is None):
             # A pool would only add fork/teardown overhead; once a warm pool
             # exists, even single-job batches go through it.
-            queue_gauge = obs_state.gauge("executor.queue_depth")
-            in_flight_gauge = obs_state.gauge("executor.in_flight")
-            obs_state.gauge("executor.workers").set(1)
-            for index, job in enumerate(jobs):
-                queue_gauge.set(len(jobs) - index - 1)
-                in_flight_gauge.set(1)
-                payload, stats = execute_job_with_stats(job)
-                on_executed(job, payload, stats)
-            in_flight_gauge.set(0)
+            _execute_inline(jobs, on_executed, on_error=on_error, pre_hook=pre_hook)
             return
         collect_metrics = obs_state.enabled()
         if self._pool is not None and collect_metrics:
@@ -465,7 +589,13 @@ class ParallelExecutor(Executor):
                     queued_jobs -= len(batch)
                     in_flight_jobs += len(batch)
                     in_flight[
-                        pool.submit(_pool_execute_batch, batch, collect_metrics)
+                        pool.submit(
+                            _pool_execute_batch,
+                            batch,
+                            collect_metrics,
+                            on_error is not None,
+                            pre_hook,
+                        )
                     ] = batch
                 # The gauges count *jobs*, not batch futures, so a sampled
                 # time series reads the same whatever the batch size.
@@ -478,8 +608,12 @@ class ParallelExecutor(Executor):
                     if worker_snapshot is not None:
                         obs_state.merge_snapshot(worker_snapshot)
                     in_flight_jobs -= len(batch)
-                    for job, (payload, stats) in zip(batch, executed):
-                        on_executed(job, payload, stats)
+                    for job, item in zip(batch, executed):
+                        if isinstance(item, JobFailure):
+                            on_error(job, item)
+                        else:
+                            payload, stats = item
+                            on_executed(job, payload, stats)
                 # Refresh after draining completions too, so a background
                 # sampler never reads a count the pool has already retired.
                 in_flight_gauge.set(in_flight_jobs)

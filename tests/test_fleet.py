@@ -132,9 +132,16 @@ class TestJobQueue:
         queue = JobQueue(tmp_path / "q", max_attempts=2)
         entry = queue.submit(_tiny_job())
         queue.lease(limit=1, now=100.0)
-        assert queue.fail(entry.job_hash, error="boom").state == STATE_QUEUED
-        queue.lease(limit=1, now=200.0)
-        assert queue.fail(entry.job_hash, error="boom").state == STATE_FAILED
+        failed = queue.fail(entry.job_hash, error="boom", now=100.0)
+        assert failed.state == STATE_QUEUED
+        # A failed attempt schedules a backoff window before the retry.
+        assert failed.not_before is not None and failed.not_before > 100.0
+        assert queue.lease(limit=1, now=100.0) == []  # still backing off
+        assert len(queue.lease(limit=1, now=failed.not_before + 0.01)) == 1
+        assert (
+            queue.fail(entry.job_hash, error="boom", now=200.0).state
+            == STATE_FAILED
+        )
 
     def test_entries_survive_reopen(self, tmp_path):
         root = tmp_path / "q"
@@ -481,21 +488,23 @@ class TestFleetBitIdentity:
             assert ours.job.content_hash == theirs.job.content_hash
             assert content_hash(ours.payload) == content_hash(theirs.payload)
 
-    def test_executor_failure_fails_the_leased_entries(self, tmp_path):
+    def test_executor_failure_degrades_instead_of_raising(self, tmp_path):
         root = tmp_path / "fleet"
         campaign = _tiny_campaign()
         submit_campaign(root, campaign)
         service = FleetService(self._drain_config(root, workers=1))
 
-        def explode(jobs, cache=None):
+        def explode(jobs, cache=None, on_error=None, pre_hook=None):
             raise RuntimeError("worker lost")
 
         service.executor.run = explode
-        with pytest.raises(RuntimeError, match="worker lost"):
-            service.run_once(now=100.0)
+        # The poll absorbs the infrastructure failure: nothing propagates,
+        # no job completes, and every leased entry is requeued (attempt
+        # charged, backoff scheduled) rather than killed.
+        assert service.run_once(now=100.0) == 0
         counts = service.queue.counts()
-        # Attempts remain, so the failure requeues rather than killing jobs.
         assert counts[STATE_QUEUED] == len(campaign.jobs)
         entry = service.queue.entries()[0]
         assert "worker lost" in entry.error
+        assert entry.not_before is not None and entry.not_before > 100.0
         service.executor.close()
